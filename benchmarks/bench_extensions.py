@@ -1,0 +1,48 @@
+"""Benchmarks: extension experiments (future-work models, ablation, tuning).
+
+These regenerate the repo's extensions of the paper's evaluation: the
+section-V future-work model comparison, the feature-group ablation, and the
+random+grid hyperparameter search protocol.
+"""
+
+import pytest
+
+from repro.experiments import run_ablation, run_future_work, run_importance, run_tuning
+
+
+def test_bench_future_work(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: run_future_work(bench_dataset, cv_folds=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(result.rows) >= {"Decision Tree", "Random Forest", "Gradient Boosting", "MLP"}
+    # Nonlinear ensembles should be competitive with the k-NN baseline.
+    assert result.rows[result.best_model()]["r2"] > 0.3
+
+
+def test_bench_ablation(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: run_ablation(bench_dataset, model_names=["k-NN"], cv_folds=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert "all" in result.rows and "only dynamic" in result.rows
+
+
+def test_bench_tuning(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: run_tuning(bench_dataset, n_random=4, cv_folds=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.best_scores["k-NN"] > 0.0
+
+
+def test_bench_importance(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: run_importance(bench_dataset, n_repeats=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.result.ranking()) == bench_dataset.n_features

@@ -1,0 +1,42 @@
+"""Benchmarks: regenerate Figures 2, 3 and 4.
+
+Each figure has two benchmarks mirroring its subfigures: (a) the example
+test-fold prediction at 50 % training size and (b) the learning curve over
+training sizes under cross-validation.
+"""
+
+import pytest
+
+from repro.experiments import FIGURE_MODELS, run_figure
+
+CURVE_SIZES = (0.1, 0.3, 0.5, 0.7)
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURE_MODELS))
+def test_bench_figure_prediction(benchmark, bench_dataset, figure):
+    """Subfigure (a): one train/test fold prediction + error series."""
+    result = benchmark.pedantic(
+        lambda: run_figure(bench_dataset, figure, seed=0, with_curve=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.test_pred) == len(result.test_true)
+    assert result.prediction_csv()
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURE_MODELS))
+def test_bench_figure_learning_curve(benchmark, bench_dataset, figure):
+    """Subfigure (b): R² learning curve (train and test) over CV folds."""
+    result = benchmark.pedantic(
+        lambda: run_figure(
+            bench_dataset, figure, cv_folds=5, curve_sizes=CURVE_SIZES, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    curve = result.curve
+    assert curve is not None
+    assert len(curve.mean_test()) == len(CURVE_SIZES)
+    # Learning curves flatten: the last point is not dramatically worse
+    # than the best point (paper: no significant improvement beyond 50 %).
+    assert curve.mean_test()[-1] >= max(curve.mean_test()) - 0.25

@@ -1,0 +1,63 @@
+"""Benchmarks: the EDA substrate underneath the experiments.
+
+Throughput numbers for the pieces whose cost the paper's methodology is
+designed to avoid or amortize: synthesis, golden simulation, the bit-parallel
+fault-injection campaign, and feature extraction.
+"""
+
+import pytest
+
+from repro.circuits import build_xgmac_workload, make_xgmac
+from repro.features import FeatureExtractor
+from repro.sim import CompiledSimulator
+
+
+def test_bench_synthesis(benchmark):
+    netlist = benchmark(lambda: make_xgmac("xgmac_tiny"))
+    assert len(netlist.flip_flops()) > 100
+
+
+def test_bench_simulator_compile(benchmark, bench_mac):
+    netlist, _workload = bench_mac
+    sim = benchmark(lambda: CompiledSimulator(netlist))
+    assert sim.n_flip_flops == len(netlist.flip_flops())
+
+
+def test_bench_golden_simulation(benchmark, bench_mac):
+    netlist, workload = bench_mac
+    trace = benchmark(workload.testbench.run_golden)
+    assert trace.n_cycles == workload.testbench.n_cycles
+
+
+def test_bench_fault_campaign(benchmark, bench_campaign_runner):
+    """A reduced flat campaign: every flip-flop, 8 injections each."""
+    result = benchmark.pedantic(
+        lambda: bench_campaign_runner.run(n_injections=8, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.mean_fdr() > 0.0
+    # Report effective throughput in the benchmark's extra info.
+    total_injections = sum(r.n_injections for r in result.results.values())
+    assert total_injections == 8 * len(result.results)
+
+
+def test_bench_single_injection_batch(benchmark, bench_campaign_runner):
+    """One bit-parallel forward run with 64 concurrent SEU lanes."""
+    injector = bench_campaign_runner.injector
+    first, _ = bench_campaign_runner.active_window
+    lanes = list(range(64))
+
+    outcome = benchmark(lambda: injector.run_batch(first + 4, lanes))
+    assert outcome.n_lanes == 64
+
+
+def test_bench_feature_extraction(benchmark, bench_mac, bench_campaign_runner):
+    netlist, _workload = bench_mac
+    golden = bench_campaign_runner.golden
+
+    def run():
+        return FeatureExtractor(netlist).matrix(golden)
+
+    matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert matrix.shape[0] == len(netlist.flip_flops())

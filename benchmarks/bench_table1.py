@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table I (model comparison under the paper protocol).
+
+One benchmark per Table I row — Linear Least Squares, k-NN and SVR, each
+cross-validated (10-fold stratified, training size 50 %) — plus the whole
+table in one shot.  Sanity assertions keep the paper's qualitative shape
+under test while timing.
+"""
+
+import pytest
+
+from repro.experiments import paper_models, run_table1
+from repro.ml.model_selection import StratifiedRegressionKFold, cross_validate
+
+
+@pytest.mark.parametrize("model_name", list(paper_models()))
+def test_bench_table1_row(benchmark, bench_dataset, model_name):
+    model = paper_models()[model_name]
+    cv = StratifiedRegressionKFold(n_splits=10, random_state=0)
+
+    def run():
+        return cross_validate(
+            model, bench_dataset.X, bench_dataset.y, cv=cv, train_size=0.5, random_state=0
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert -1.0 <= result.mean_test("r2") <= 1.0
+
+
+def test_bench_table1_full(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: run_table1(bench_dataset, cv_folds=10, seed=0), rounds=1, iterations=1
+    )
+    assert result.shape_holds()
+    r2 = {m: v["r2"] for m, v in result.rows.items()}
+    assert r2["k-NN"] > r2["Linear Least Squares"]
+    assert r2["SVR w/ RBF Kernel"] > r2["Linear Least Squares"]

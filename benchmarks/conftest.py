@@ -1,0 +1,36 @@
+"""Benchmark fixtures.
+
+Benchmarks run on the ``tiny`` dataset preset (cached on first use) so the
+whole suite finishes in a couple of minutes while still exercising every
+experiment's real code path.  Regenerate at paper scale with
+``python -m repro.experiments all --scale full``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import build_xgmac_workload, make_xgmac
+from repro.data import get_dataset
+from repro.faultinjection import PacketInterfaceCriterion, StatisticalFaultCampaign
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    return get_dataset("tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_mac():
+    netlist = make_xgmac("xgmac_tiny")
+    workload = build_xgmac_workload(netlist, n_frames=4, min_len=2, max_len=3, seed=7)
+    return netlist, workload
+
+
+@pytest.fixture(scope="session")
+def bench_campaign_runner(bench_mac):
+    netlist, workload = bench_mac
+    criterion = PacketInterfaceCriterion(workload.valid_nets, workload.data_nets)
+    return StatisticalFaultCampaign(
+        netlist, workload.testbench, criterion, active_window=workload.active_window
+    )

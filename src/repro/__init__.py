@@ -1,0 +1,56 @@
+"""repro — reproduction of Lange et al., "On the Estimation of Complex
+Circuits Functional Failure Rate by Machine Learning Techniques" (DSN 2019).
+
+The package is organized bottom-up, mirroring the paper's flow (Fig. 1):
+
+``repro.netlist``
+    Gate-level netlist model on a NanGate-like cell library, with
+    structural Verilog I/O.
+``repro.synth``
+    RTL abstraction + technology mapping (the Synopsys DC substitute).
+``repro.circuits``
+    Benchmark designs, most importantly the 10GE-MAC-style core and its
+    frame-streaming workload.
+``repro.sim``
+    Event-driven (0/1/X) and compiled bit-parallel cycle simulators,
+    testbench framework, activity tracing.
+``repro.faultinjection``
+    SEU campaigns: golden-trajectory replay, bit-parallel forward fault
+    simulation, failure classification, FDR statistics.
+``repro.features``
+    The paper's per-flip-flop feature set (structural / synthesis /
+    dynamic) and dataset assembly.
+``repro.ml``
+    From-scratch models and model selection (Linear Least Squares, k-NN,
+    ε-SVR + the future-work models; stratified CV, random+grid search,
+    learning curves, the five paper metrics).
+``repro.flow``
+    The end-to-end estimation flow and reporting.
+``repro.experiments``
+    One runner per paper table/figure (Table I, Figs. 2-4) plus
+    future-work, ablation and tuning extensions.
+``repro.data``
+    Cached dataset generation at three scales (tiny / mini / full).
+"""
+
+from . import circuits, experiments, faultinjection, features, flow, ml, netlist, sim, synth
+from .data import DATASET_PRESETS, DatasetSpec, generate_dataset, get_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "circuits",
+    "experiments",
+    "faultinjection",
+    "features",
+    "flow",
+    "ml",
+    "netlist",
+    "sim",
+    "synth",
+    "DATASET_PRESETS",
+    "DatasetSpec",
+    "generate_dataset",
+    "get_dataset",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Benchmark circuit generators: FIFOs, CRC, FSMs, counters and the MAC."""
+
+from .counters import (
+    add_counter,
+    add_lfsr,
+    add_saturating_counter,
+    add_shift_register,
+    make_counter,
+    make_gray_counter,
+    make_lfsr,
+    make_shift_register,
+)
+from .crc import CRC32_POLY, crc32_bytes, crc32_step, crc32_update_word, crc_bytes_msb_first
+from .fifo import FifoPorts, add_sync_fifo
+from .fsm import FSM
+from .library import CIRCUIT_BUILDERS, available_circuits, get_circuit
+from .workloads import (
+    XgMacWorkload,
+    build_xgmac_workload,
+    decode_rx_stream,
+    expected_rx_entries,
+)
+from .xgmac import XGMAC_PRESETS, XgMacConfig, build_xgmac_module, make_xgmac
+
+__all__ = [
+    "add_counter",
+    "add_lfsr",
+    "add_saturating_counter",
+    "add_shift_register",
+    "make_counter",
+    "make_gray_counter",
+    "make_lfsr",
+    "make_shift_register",
+    "CRC32_POLY",
+    "crc32_bytes",
+    "crc32_step",
+    "crc32_update_word",
+    "crc_bytes_msb_first",
+    "FifoPorts",
+    "add_sync_fifo",
+    "FSM",
+    "CIRCUIT_BUILDERS",
+    "available_circuits",
+    "get_circuit",
+    "XgMacWorkload",
+    "build_xgmac_workload",
+    "decode_rx_stream",
+    "expected_rx_entries",
+    "XGMAC_PRESETS",
+    "XgMacConfig",
+    "build_xgmac_module",
+    "make_xgmac",
+]

@@ -1,0 +1,111 @@
+"""CRC-32 generator (IEEE 802.3 polynomial).
+
+The 10GE MAC computes a CRC over every transmitted frame and checks it on
+reception; payload corruption detected through a CRC mismatch is one of the
+paper's failure classes.  This module provides both an integer golden model
+and an RTL byte-wise update network.
+
+The update network is derived *from* the golden model by superposition: a
+CRC step is linear over GF(2), so the expression for each next-state bit is
+the XOR of exactly those current-state/data bits whose unit vectors flip it.
+This keeps the RTL correct by construction against the golden model.
+
+The register uses an all-zero initial value (rather than 802.3's inverted
+init/final-complement), so a receiver that runs the CRC over payload plus
+appended CRC ends at zero for an intact frame.  The masking/propagation
+behaviour exercised by fault injection is identical.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from ..synth.expr import Expr, Xor, ZERO
+from ..synth.wordlib import Word
+
+__all__ = ["CRC32_POLY", "crc32_step", "crc32_bytes", "crc32_update_word", "crc_bytes_msb_first"]
+
+CRC32_POLY = 0x04C11DB7
+_MASK32 = 0xFFFFFFFF
+
+
+def crc32_step(crc: int, byte: int) -> int:
+    """Golden model: advance a 32-bit CRC register by one data byte.
+
+    MSB-first bit processing with polynomial :data:`CRC32_POLY`.
+    """
+    crc = (crc ^ (byte << 24)) & _MASK32
+    for _ in range(8):
+        if crc & 0x80000000:
+            crc = ((crc << 1) ^ CRC32_POLY) & _MASK32
+        else:
+            crc = (crc << 1) & _MASK32
+    return crc
+
+
+def crc32_bytes(data: Sequence[int], crc: int = 0) -> int:
+    """CRC of a byte sequence starting from *crc*."""
+    for byte in data:
+        crc = crc32_step(crc, byte)
+    return crc
+
+
+def crc_bytes_msb_first(crc: int) -> Tuple[int, int, int, int]:
+    """Split a CRC value into the four bytes transmitted MSB first."""
+    return ((crc >> 24) & 0xFF, (crc >> 16) & 0xFF, (crc >> 8) & 0xFF, crc & 0xFF)
+
+
+@lru_cache(maxsize=None)
+def _update_masks() -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Superposition masks: which crc/data bits feed each next-state bit.
+
+    Returns ``(crc_masks, data_masks)`` where bit *j* of ``crc_masks[i]``
+    means current CRC bit *j* participates in next CRC bit *i*.
+    """
+    crc_cols = [crc32_step(1 << j, 0) for j in range(32)]
+    data_cols = [crc32_step(0, 1 << j) for j in range(8)]
+    crc_masks = []
+    data_masks = []
+    for i in range(32):
+        cmask = 0
+        for j in range(32):
+            if (crc_cols[j] >> i) & 1:
+                cmask |= 1 << j
+        dmask = 0
+        for j in range(8):
+            if (data_cols[j] >> i) & 1:
+                dmask |= 1 << j
+        crc_masks.append(cmask)
+        data_masks.append(dmask)
+    return tuple(crc_masks), tuple(data_masks)
+
+
+def crc32_update_word(crc: Sequence[Expr], data: Sequence[Expr]) -> Word:
+    """RTL byte-wise CRC update network.
+
+    Parameters
+    ----------
+    crc:
+        32 expression bits, LSB first (bit *i* is CRC bit *i*).
+    data:
+        8 expression bits, LSB first.
+
+    Returns
+    -------
+    The 32 next-state expressions, LSB first.
+    """
+    if len(crc) != 32 or len(data) != 8:
+        raise ValueError("crc32_update_word expects 32 crc bits and 8 data bits")
+    crc_masks, data_masks = _update_masks()
+    next_bits: Word = []
+    for i in range(32):
+        terms: List[Expr] = []
+        for j in range(32):
+            if (crc_masks[i] >> j) & 1:
+                terms.append(crc[j])
+        for j in range(8):
+            if (data_masks[i] >> j) & 1:
+                terms.append(data[j])
+        next_bits.append(Xor.of(*terms) if terms else ZERO)
+    return next_bits

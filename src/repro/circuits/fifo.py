@@ -1,0 +1,108 @@
+"""Synchronous FIFO generator.
+
+The 10GE MAC's transmit and receive paths each buffer frames in a FIFO; in
+the synthesized netlist these FIFOs contribute the bulk of the 1054
+flip-flops.  This generator adds a register-file FIFO to a
+:class:`~repro.synth.module.Module`:
+
+* payload storage is built from non-resettable ``DFF`` registers (as a
+  synthesis tool would leave RAM-inferred payload bits), which matters for
+  the fault campaign — un-reset payload bits dominate the low-FDR
+  population exactly as in the paper's circuit;
+* read is first-word-fall-through (combinational head output);
+* write/read enables are internally gated with full/empty, so overrun and
+  underrun are structurally impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..synth.expr import And, Expr, Not, Sig
+from ..synth.module import Module
+from ..synth.wordlib import Word, decode, eq, inc, mux_word, onehot_mux
+
+__all__ = ["FifoPorts", "add_sync_fifo"]
+
+
+@dataclass
+class FifoPorts:
+    """Hooks returned by :func:`add_sync_fifo`.
+
+    Attributes
+    ----------
+    rd_data:
+        Combinational head entry (valid whenever ``empty`` is low).
+    empty / full:
+        Status expressions.
+    do_write / do_read:
+        The internally gated strobes actually applied this cycle (useful for
+        occupancy accounting in the surrounding design).
+    """
+
+    rd_data: Word
+    empty: Expr
+    full: Expr
+    do_write: Expr
+    do_read: Expr
+
+
+def _log2_exact(value: int) -> int:
+    bits = value.bit_length() - 1
+    if value <= 0 or (1 << bits) != value:
+        raise ValueError(f"FIFO depth must be a power of two, got {value}")
+    return bits
+
+
+def add_sync_fifo(
+    module: Module,
+    prefix: str,
+    width: int,
+    depth: int,
+    wr_en: Expr,
+    wr_data: Sequence[Expr],
+    rd_en: Expr,
+) -> FifoPorts:
+    """Instantiate a *width* × *depth* FIFO named *prefix* inside *module*.
+
+    ``wr_data`` must be *width* bits.  Pointers carry one extra wrap bit so
+    that full/empty are distinguished without an occupancy counter.
+    """
+    if len(wr_data) != width:
+        raise ValueError(f"{prefix}: wr_data is {len(wr_data)} bits, expected {width}")
+    addr_bits = _log2_exact(depth)
+    ptr_bits = addr_bits + 1
+
+    wr_ptr = module.reg_bus(f"{prefix}_wr_ptr", ptr_bits)
+    rd_ptr = module.reg_bus(f"{prefix}_rd_ptr", ptr_bits)
+
+    same_index = eq(wr_ptr[:addr_bits], rd_ptr[:addr_bits])
+    wrap_equal = Not.of(wr_ptr[addr_bits] ^ rd_ptr[addr_bits])
+    empty = module.assign(f"{prefix}_empty", And.of(same_index, wrap_equal))
+    full = module.assign(f"{prefix}_full", And.of(same_index, Not.of(wrap_equal)))
+
+    do_write = module.assign(f"{prefix}_do_write", And.of(wr_en, Not.of(full)))
+    do_read = module.assign(f"{prefix}_do_read", And.of(rd_en, Not.of(empty)))
+
+    module.next(wr_ptr, mux_word(do_write, inc(wr_ptr), wr_ptr))
+    module.next(rd_ptr, mux_word(do_read, inc(rd_ptr), rd_ptr))
+
+    wr_sel = decode(wr_ptr[:addr_bits])
+    rd_sel = decode(rd_ptr[:addr_bits])
+
+    mem_words: List[List[Sig]] = []
+    for entry in range(depth):
+        word = module.reg_bus(f"{prefix}_mem{entry}", width, resettable=False)
+        module.next_en(word, And.of(do_write, wr_sel[entry]), list(wr_data))
+        mem_words.append(word)
+
+    rd_data = module.assign_bus(f"{prefix}_rd_data", onehot_mux(rd_sel, mem_words))
+
+    return FifoPorts(
+        rd_data=[Sig(s.name) for s in rd_data],
+        empty=empty,
+        full=full,
+        do_write=do_write,
+        do_read=do_read,
+    )

@@ -1,0 +1,89 @@
+"""Finite-state-machine builder.
+
+The MAC's transmit and receive engines are control FSMs; this helper builds
+binary-encoded state registers with a priority transition list, the way a
+synthesis tool encodes an RTL ``case`` statement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..synth.expr import Expr, Mux, Sig
+from ..synth.module import Module
+from ..synth.wordlib import Word, const_word, eq_const, mux_word
+
+__all__ = ["FSM"]
+
+
+@dataclass
+class _Transition:
+    source: str
+    condition: Expr
+    target: str
+
+
+class FSM:
+    """Binary-encoded Moore state machine inside a :class:`Module`.
+
+    Usage::
+
+        fsm = FSM(module, "tx", ["IDLE", "DATA", "CRC"])
+        fsm.transition("IDLE", start_cond, "DATA")
+        fsm.transition("DATA", end_cond, "CRC")
+        fsm.transition("CRC", Const(1), "IDLE")
+        in_data = fsm.is_in("DATA")
+        fsm.build()
+
+    Transitions from the same source state are prioritized in the order they
+    were added (earlier wins); a state with no matching transition holds.
+    The reset state is the first state name (encoded as 0, matching the
+    registers' reset value).
+    """
+
+    def __init__(self, module: Module, prefix: str, states: Sequence[str]) -> None:
+        if len(states) < 2:
+            raise ValueError("an FSM needs at least two states")
+        if len(set(states)) != len(states):
+            raise ValueError("duplicate state names")
+        self.module = module
+        self.prefix = prefix
+        self.states = list(states)
+        self.encoding: Dict[str, int] = {name: i for i, name in enumerate(self.states)}
+        width = max(1, math.ceil(math.log2(len(self.states))))
+        self.state_reg: List[Sig] = module.reg_bus(f"{prefix}_state", width)
+        self._transitions: List[_Transition] = []
+        self._built = False
+
+    @property
+    def width(self) -> int:
+        return len(self.state_reg)
+
+    def is_in(self, state: str) -> Expr:
+        """Expression asserted while the FSM is in *state*."""
+        return eq_const(self.state_reg, self.encoding[state])
+
+    def transition(self, source: str, condition: Expr, target: str) -> None:
+        """Add a prioritized transition edge."""
+        if self._built:
+            raise RuntimeError("FSM already built")
+        for name in (source, target):
+            if name not in self.encoding:
+                raise KeyError(f"unknown state {name!r}")
+        self._transitions.append(_Transition(source, condition, target))
+
+    def build(self) -> None:
+        """Emit the next-state logic.  Call exactly once, after all edges."""
+        if self._built:
+            raise RuntimeError("FSM already built")
+        self._built = True
+        next_state: Word = list(self.state_reg)  # default: hold
+        # Later-added transitions are applied first in the mux chain so that
+        # earlier-added ones override them (priority order).
+        for tr in reversed(self._transitions):
+            take = self.is_in(tr.source) & tr.condition
+            target_word = const_word(self.encoding[tr.target], self.width)
+            next_state = mux_word(take, target_word, next_state)
+        self.module.next(self.state_reg, next_state)

@@ -1,0 +1,49 @@
+"""Registry of benchmark circuits.
+
+Maps circuit names to generator functions so datasets, examples and tests
+can request designs by name (``get_circuit("xgmac_mini")``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..netlist.core import Netlist
+from .counters import make_counter, make_gray_counter, make_lfsr, make_shift_register
+from .xgmac import XGMAC_PRESETS, make_xgmac
+
+__all__ = ["CIRCUIT_BUILDERS", "get_circuit", "available_circuits"]
+
+
+def _preset_builder(name: str) -> Callable[[], Netlist]:
+    def build() -> Netlist:
+        return make_xgmac(name)
+
+    return build
+
+
+CIRCUIT_BUILDERS: Dict[str, Callable[[], Netlist]] = {
+    "counter8": lambda: make_counter(8),
+    "counter16": lambda: make_counter(16),
+    "shiftreg8": lambda: make_shift_register(8),
+    "shiftreg16": lambda: make_shift_register(16),
+    "lfsr8": lambda: make_lfsr(8),
+    "lfsr16": lambda: make_lfsr(16),
+    "gray8": lambda: make_gray_counter(8),
+}
+for _preset in XGMAC_PRESETS:
+    CIRCUIT_BUILDERS[_preset] = _preset_builder(_preset)
+
+
+def get_circuit(name: str) -> Netlist:
+    """Build the named benchmark circuit."""
+    try:
+        builder = CIRCUIT_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown circuit {name!r}; available: {available_circuits()}") from None
+    return builder()
+
+
+def available_circuits() -> List[str]:
+    """Names of all registered benchmark circuits."""
+    return sorted(CIRCUIT_BUILDERS)

@@ -1,0 +1,143 @@
+"""Dataset generation and caching.
+
+One call produces the labelled per-flip-flop dataset the paper's section IV
+trains on: build the MAC netlist, run the frame workload, run the full flat
+statistical fault-injection campaign, extract features, assemble the
+:class:`~repro.features.dataset.Dataset`.  Results are cached as JSON under
+``.repro_cache/`` keyed by a hash of the generation parameters, because the
+full campaign (1012 flip-flops × 170 injections) takes minutes.
+
+Three scales are predefined: ``tiny`` (seconds; unit tests), ``mini``
+(default; CI benchmarks) and ``full`` (the paper-scale configuration).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from .circuits.library import get_circuit
+from .circuits.workloads import XgMacWorkload, build_xgmac_workload
+from .faultinjection.campaign import CampaignResult, StatisticalFaultCampaign
+from .faultinjection.classify import PacketInterfaceCriterion
+from .features.dataset import Dataset
+from .features.extractor import build_dataset
+from .netlist.core import Netlist
+
+__all__ = ["DatasetSpec", "DATASET_PRESETS", "generate_dataset", "get_dataset", "default_cache_dir"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """All parameters that determine a generated dataset."""
+
+    circuit: str = "xgmac_mini"
+    n_frames: int = 8
+    min_len: int = 4
+    max_len: int = 7
+    gap: int = 14
+    workload_seed: int = 1
+    n_injections: int = 60
+    campaign_seed: int = 0
+
+    def cache_key(self) -> str:
+        payload = json.dumps(asdict(self), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+
+DATASET_PRESETS: Dict[str, DatasetSpec] = {
+    "tiny": DatasetSpec(
+        circuit="xgmac_tiny",
+        n_frames=5,
+        min_len=2,
+        max_len=3,
+        gap=12,
+        n_injections=24,
+    ),
+    "mini": DatasetSpec(
+        circuit="xgmac_mini",
+        n_frames=8,
+        min_len=4,
+        max_len=7,
+        gap=14,
+        n_injections=60,
+    ),
+    "full": DatasetSpec(
+        circuit="xgmac",
+        n_frames=12,
+        min_len=8,
+        max_len=24,
+        gap=30,
+        n_injections=170,
+    ),
+}
+
+
+def default_cache_dir() -> Path:
+    """Cache location: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in CWD."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def build_workload(spec: DatasetSpec) -> Tuple[Netlist, XgMacWorkload]:
+    """Synthesize the circuit and construct the frame workload for *spec*."""
+    netlist = get_circuit(spec.circuit)
+    workload = build_xgmac_workload(
+        netlist,
+        n_frames=spec.n_frames,
+        min_len=spec.min_len,
+        max_len=spec.max_len,
+        gap=spec.gap,
+        seed=spec.workload_seed,
+    )
+    return netlist, workload
+
+
+def generate_dataset(spec: DatasetSpec) -> Tuple[Dataset, CampaignResult]:
+    """Run the full reference flow for *spec* (no caching)."""
+    netlist, workload = build_workload(spec)
+    criterion = PacketInterfaceCriterion(workload.valid_nets, workload.data_nets)
+    campaign_runner = StatisticalFaultCampaign(
+        netlist, workload.testbench, criterion, active_window=workload.active_window
+    )
+    campaign = campaign_runner.run(
+        n_injections=spec.n_injections, seed=spec.campaign_seed
+    )
+    dataset = build_dataset(
+        netlist,
+        campaign_runner.golden,
+        campaign,
+        meta={"spec": asdict(spec)},
+    )
+    return dataset, campaign
+
+
+def get_dataset(
+    preset: str = "mini",
+    spec: Optional[DatasetSpec] = None,
+    cache_dir: Optional[Path] = None,
+    regenerate: bool = False,
+) -> Dataset:
+    """Load (or generate and cache) a labelled dataset.
+
+    Either name a preset (``tiny``/``mini``/``full``) or pass an explicit
+    :class:`DatasetSpec`.
+    """
+    if spec is None:
+        try:
+            spec = DATASET_PRESETS[preset]
+        except KeyError:
+            raise KeyError(
+                f"unknown preset {preset!r}; choose from {sorted(DATASET_PRESETS)}"
+            ) from None
+    cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+    cache_file = cache_dir / f"dataset_{spec.circuit}_{spec.cache_key()}.json"
+    if cache_file.exists() and not regenerate:
+        return Dataset.from_json(cache_file.read_text())
+    dataset, _campaign = generate_dataset(spec)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    cache_file.write_text(dataset.to_json())
+    return dataset

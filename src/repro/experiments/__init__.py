@@ -1,0 +1,41 @@
+"""Experiment runners: one per table/figure of the paper, plus extensions."""
+
+from .ablation import AblationResult, run_ablation
+from .common import (
+    CV_FOLDS,
+    LEARNING_CURVE_SIZES,
+    PAPER_TABLE1,
+    TRAIN_SIZE,
+    future_work_models,
+    paper_models,
+)
+from .extended_features import ExtendedFeaturesResult, run_extended_features
+from .figures import FIGURE_MODELS, FigureResult, run_figure
+from .future_work import FutureWorkResult, run_future_work
+from .importance import ImportanceResult, run_importance
+from .table1 import Table1Result, run_table1
+from .tuning import TuningResult, run_tuning
+
+__all__ = [
+    "AblationResult",
+    "run_ablation",
+    "CV_FOLDS",
+    "LEARNING_CURVE_SIZES",
+    "PAPER_TABLE1",
+    "TRAIN_SIZE",
+    "future_work_models",
+    "paper_models",
+    "ExtendedFeaturesResult",
+    "run_extended_features",
+    "FIGURE_MODELS",
+    "FigureResult",
+    "run_figure",
+    "FutureWorkResult",
+    "run_future_work",
+    "ImportanceResult",
+    "run_importance",
+    "Table1Result",
+    "run_table1",
+    "TuningResult",
+    "run_tuning",
+]

@@ -1,0 +1,119 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments table1 --scale mini
+    python -m repro.experiments fig2 fig3 fig4 --scale full --out results/
+    python -m repro.experiments all --scale tiny
+
+Scales map to the dataset presets of :mod:`repro.data`: ``tiny`` (seconds),
+``mini`` (default, < 1 min), ``full`` (the paper-scale configuration —
+1012 flip-flops × 170 injections; several minutes on first run, cached
+afterwards).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..data import get_dataset
+from .ablation import run_ablation
+from .figures import FIGURE_MODELS, run_figure
+from .future_work import run_future_work
+from .extended_features import run_extended_features
+from .importance import run_importance
+from .table1 import run_table1
+from .tuning import run_tuning
+
+EXPERIMENTS = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "future-work",
+    "ablation",
+    "tuning",
+    "importance",
+    "extended-features",
+]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=EXPERIMENTS + ["all"],
+        help="which experiments to run",
+    )
+    parser.add_argument("--scale", default="mini", choices=["tiny", "mini", "full"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=None, help="directory for CSV/JSON outputs")
+    parser.add_argument("--regenerate", action="store_true", help="ignore the dataset cache")
+    args = parser.parse_args(argv)
+
+    requested = EXPERIMENTS if "all" in args.experiments else args.experiments
+    print(f"Loading dataset (scale={args.scale}) ...", flush=True)
+    dataset = get_dataset(args.scale, regenerate=args.regenerate)
+    print(f"dataset: {dataset.n_samples} flip-flops x {dataset.n_features} features\n")
+
+    out_dir = args.out
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for experiment in requested:
+        print(f"=== {experiment} ===", flush=True)
+        if experiment == "table1":
+            result = run_table1(dataset, seed=args.seed)
+            print(result.as_text())
+            print(f"\nshape holds (LLS worst, k-NN ~ SVR): {result.shape_holds()}")
+            if out_dir:
+                (out_dir / "table1.json").write_text(json.dumps(result.rows, indent=2))
+        elif experiment in FIGURE_MODELS:
+            result = run_figure(dataset, experiment, seed=args.seed)
+            print(result.as_text())
+            if out_dir:
+                (out_dir / f"{experiment}a_prediction.csv").write_text(result.prediction_csv())
+                (out_dir / f"{experiment}b_learning_curve.csv").write_text(result.curve_csv())
+        elif experiment == "future-work":
+            result = run_future_work(dataset, seed=args.seed)
+            print(result.as_text())
+            print(f"\nbest future-work model: {result.best_model()}")
+            if out_dir:
+                (out_dir / "future_work.json").write_text(json.dumps(result.rows, indent=2))
+        elif experiment == "ablation":
+            result = run_ablation(dataset, seed=args.seed)
+            print(result.as_text())
+            if out_dir:
+                (out_dir / "ablation.json").write_text(json.dumps(result.rows, indent=2))
+        elif experiment == "tuning":
+            result = run_tuning(dataset, seed=args.seed)
+            print(result.as_text())
+            if out_dir:
+                payload = {"best_params": result.best_params, "best_scores": result.best_scores}
+                (out_dir / "tuning.json").write_text(json.dumps(payload, indent=2, default=str))
+        elif experiment == "extended-features":
+            result = run_extended_features(dataset, seed=args.seed)
+            print(result.as_text())
+            if out_dir:
+                payload = {"baseline_r2": result.baseline_r2, "extended_r2": result.extended_r2}
+                (out_dir / "extended_features.json").write_text(json.dumps(payload, indent=2))
+        elif experiment == "importance":
+            result = run_importance(dataset, seed=args.seed)
+            print(result.as_text())
+            if out_dir:
+                rows = result.result.as_rows()
+                (out_dir / "importance.json").write_text(json.dumps(rows, indent=2))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Ablation experiment: value of each feature group.
+
+Section V: "further features should be considered to improve the overall
+performance of the models … and the value of each feature needs to be
+evaluated separately."  This experiment quantifies that value at the group
+level: k-NN and SVR are evaluated with only-structural, only-synthesis,
+only-dynamic features, with each group left out, and with the full set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..features.dataset import Dataset
+from ..flow.reporting import format_table
+from ..ml.model_selection import StratifiedRegressionKFold, cross_validate
+from .common import CV_FOLDS, TRAIN_SIZE, paper_models
+
+__all__ = ["AblationResult", "run_ablation"]
+
+
+@dataclass
+class AblationResult:
+    """R² per (feature configuration, model)."""
+
+    models: List[str] = field(default_factory=list)
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def as_text(self) -> str:
+        headers = ["Features", *(f"{m} R2" for m in self.models)]
+        table_rows = [
+            [config, *(self.rows[config][m] for m in self.models)] for config in self.rows
+        ]
+        return format_table(
+            headers,
+            table_rows,
+            title=(
+                "Feature-group ablation — test R² "
+                f"(cv = {CV_FOLDS}, training size = {TRAIN_SIZE:.0%})"
+            ),
+        )
+
+
+def run_ablation(
+    dataset: Dataset,
+    model_names: Sequence[str] = ("k-NN", "SVR w/ RBF Kernel"),
+    cv_folds: int = CV_FOLDS,
+    train_size: float = TRAIN_SIZE,
+    seed: int = 0,
+) -> AblationResult:
+    """Group-level feature ablation on a labelled dataset."""
+    if not dataset.groups:
+        raise ValueError("dataset carries no feature-group metadata")
+    group_names = list(dataset.groups)
+    configs: Dict[str, List[str]] = {"all": group_names}
+    for group in group_names:
+        configs[f"only {group}"] = [group]
+    if len(group_names) > 2:
+        for group in group_names:
+            configs[f"without {group}"] = [g for g in group_names if g != group]
+
+    all_models = paper_models()
+    chosen = {name: all_models[name] for name in model_names}
+    result = AblationResult(models=list(chosen))
+    splitter = StratifiedRegressionKFold(n_splits=cv_folds, random_state=seed)
+    for config_name, groups in configs.items():
+        subset = dataset.select_groups(groups)
+        scores: Dict[str, float] = {}
+        for model_name, model in chosen.items():
+            outcome = cross_validate(
+                model,
+                subset.X,
+                subset.y,
+                cv=splitter,
+                train_size=train_size,
+                random_state=seed,
+            )
+            scores[model_name] = outcome.mean_test("r2")
+        result.rows[config_name] = scores
+    return result

@@ -1,0 +1,65 @@
+"""Extension experiment: the paper's future-work models.
+
+Section V: "The focus for future work should lie on evaluating further
+non-linear models, such as Decision Tree Regressor, Multi-Layer Perception
+Neural Networks, or using boosting algorithms."  This experiment evaluates
+exactly those models under the same protocol as Table I, so their rows are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..features.dataset import Dataset
+from ..flow.reporting import format_table
+from ..ml.model_selection import StratifiedRegressionKFold, cross_validate
+from .common import CV_FOLDS, TRAIN_SIZE, future_work_models, paper_models
+
+__all__ = ["FutureWorkResult", "run_future_work"]
+
+
+@dataclass
+class FutureWorkResult:
+    """Table-I-style rows for the future-work models (plus k-NN baseline)."""
+
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def as_text(self) -> str:
+        headers = ["Model", "MAE", "MAX", "RMSE", "EV", "R2"]
+        table_rows: List[List[object]] = [
+            [m, v["mae"], v["max"], v["rmse"], v["ev"], v["r2"]] for m, v in self.rows.items()
+        ]
+        return format_table(
+            headers,
+            table_rows,
+            title=(
+                "Future-work models (paper section V) — same protocol as Table I "
+                f"(cv = {CV_FOLDS}, training size = {TRAIN_SIZE:.0%})"
+            ),
+        )
+
+    def best_model(self) -> str:
+        return max(self.rows, key=lambda m: self.rows[m]["r2"])
+
+
+def run_future_work(
+    dataset: Dataset,
+    cv_folds: int = CV_FOLDS,
+    train_size: float = TRAIN_SIZE,
+    seed: int = 0,
+    include_baseline: bool = True,
+) -> FutureWorkResult:
+    """Evaluate decision tree, random forest, gradient boosting and MLP."""
+    result = FutureWorkResult()
+    models = dict(future_work_models(random_state=seed))
+    if include_baseline:
+        models["k-NN (baseline)"] = paper_models()["k-NN"]
+    splitter = StratifiedRegressionKFold(n_splits=cv_folds, random_state=seed)
+    for name, model in models.items():
+        outcome = cross_validate(
+            model, dataset.X, dataset.y, cv=splitter, train_size=train_size, random_state=seed
+        )
+        result.rows[name] = outcome.summary()
+    return result

@@ -1,0 +1,30 @@
+"""SEU fault-injection: models, injector, campaigns, FDR statistics."""
+
+from .campaign import CampaignResult, FlipFlopResult, StatisticalFaultCampaign
+from .classify import (
+    AnyOutputCriterion,
+    BoundCriterion,
+    FailureCriterion,
+    PacketInterfaceCriterion,
+)
+from .faults import SetFault, SeuFault
+from .fdr import FdrEstimate, required_sample_size, wilson_interval
+from .injector import BatchOutcome, FaultInjector, relevant_flip_flops
+
+__all__ = [
+    "CampaignResult",
+    "FlipFlopResult",
+    "StatisticalFaultCampaign",
+    "AnyOutputCriterion",
+    "BoundCriterion",
+    "FailureCriterion",
+    "PacketInterfaceCriterion",
+    "SetFault",
+    "SeuFault",
+    "FdrEstimate",
+    "required_sample_size",
+    "wilson_interval",
+    "BatchOutcome",
+    "FaultInjector",
+    "relevant_flip_flops",
+]

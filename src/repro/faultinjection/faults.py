@@ -1,0 +1,45 @@
+"""Fault models.
+
+The paper's campaign injects Single-Event Upsets: "the fault injection
+mechanism is implemented by inverting the value stored in a flip-flop using
+a simulator function", at random times "during the active phase of the
+simulation".  :class:`SeuFault` captures one such injection; SETs (transients
+in combinational logic) are out of the campaign's scope, as in the paper,
+but are described by :class:`SetFault` for completeness of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SeuFault", "SetFault"]
+
+
+@dataclass(frozen=True)
+class SeuFault:
+    """A Single-Event Upset: invert flip-flop *ff_name* at *cycle*.
+
+    The flip is applied to the flip-flop's Q output at the start of the
+    cycle, before the cycle's combinational settle — equivalent to the
+    upset having corrupted the latched state on the preceding edge.
+    """
+
+    ff_name: str
+    cycle: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SEU({self.ff_name} @ {self.cycle})"
+
+
+@dataclass(frozen=True)
+class SetFault:
+    """A Single-Event Transient on a combinational net (documented model).
+
+    Transients are subject to electrical and temporal de-rating before ever
+    being latched; the paper (and this reproduction) evaluates Functional
+    De-Rating for latched upsets, so this model is not exercised by the
+    campaign engine.
+    """
+
+    net_name: str
+    cycle: int

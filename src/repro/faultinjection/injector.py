@@ -1,0 +1,372 @@
+"""Bit-parallel SEU forward simulation against a golden trajectory.
+
+One :meth:`FaultInjector.run_batch` call simulates up to ``max_lanes``
+injections *at the same cycle* simultaneously: lane *j* of every net value
+is the run in which flip-flop ``ff_indices[j]`` was inverted.  Three
+ingredients make the paper's full flat campaign tractable:
+
+1. **Golden-state restart** — the fault run starts from the recorded golden
+   flip-flop state at the injection cycle, not from reset;
+2. **Reactive loopback replay** — loopback inputs (XGMII TX→RX) are fed from
+   the *faulty* run's own outputs, while open-loop stimulus is replayed from
+   the golden record;
+3. **Early retirement** — a lane whose *relevant* flip-flop state and
+   loopback pipeline have re-converged to golden can never deviate again and
+   stops being interesting; the batch ends as soon as every lane has either
+   failed or converged.  Relevant flip-flops are those with a structural
+   path to the criterion outputs or loopback sources — a fault lingering
+   only in, say, a statistics counter is provably benign and does not keep
+   the batch alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..netlist.core import Netlist
+from ..sim.compiled import CompiledSimulator
+from ..sim.testbench import GoldenTrace, Testbench
+from .classify import FailureCriterion
+
+__all__ = ["FaultInjector", "BatchOutcome", "relevant_flip_flops"]
+
+
+def relevant_flip_flops(netlist: Netlist, observable_nets: Sequence[str]) -> Set[str]:
+    """Flip-flops with a structural path (through any logic) to *observable_nets*.
+
+    Backward reachability over the netlist: from each observable net through
+    combinational cones and flip-flop D/RN pins.  A flip-flop outside this
+    set cannot influence the observables, ever.
+    """
+    relevant: Set[str] = set()
+    visited: Set[str] = set()
+    stack = list(observable_nets)
+    while stack:
+        net_name = stack.pop()
+        if net_name in visited:
+            continue
+        visited.add(net_name)
+        driver = netlist.nets[net_name].driver
+        if driver is None:
+            continue
+        cell = netlist.cells[driver.cell]
+        if cell.is_sequential:
+            relevant.add(cell.name)
+            stack.extend(cell.data_input_nets())
+        else:
+            stack.extend(cell.input_nets())
+    return relevant
+
+
+@dataclass
+class BatchOutcome:
+    """Result of one injection batch.
+
+    ``latencies[lane]`` is the error latency of a failed lane: the number of
+    cycles between the SEU and the first observable deviation under the
+    failure criterion (0 = visible in the injection cycle itself).
+    """
+
+    failed_mask: int
+    n_lanes: int
+    cycles_simulated: int
+    latencies: Dict[int, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.latencies is None:
+            self.latencies = {}
+
+    def failed_lanes(self) -> List[int]:
+        return [j for j in range(self.n_lanes) if (self.failed_mask >> j) & 1]
+
+
+@dataclass
+class _LoopTap:
+    """One bit of a loopback path: source output → delayed target input."""
+
+    source_value_idx: int
+    target_value_idx: int
+    source_out_bit: int
+    delay: int
+    slots: List[int]
+
+
+class FaultInjector:
+    """Forward SEU simulator bound to one netlist/testbench/golden trace."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        testbench: Testbench,
+        golden: GoldenTrace,
+        criterion: FailureCriterion,
+        check_interval: int = 8,
+    ) -> None:
+        self.netlist = netlist
+        self.testbench = testbench
+        self.golden = golden
+        self.check_interval = max(1, check_interval)
+        self.sim = CompiledSimulator(netlist, n_lanes=1)
+        self._criterion = criterion.bind(netlist, self.sim)
+
+        self._input_value_idx = [self.sim.net_index[n] for n in testbench.input_names]
+        out_bit = {name: i for i, name in enumerate(netlist.outputs)}
+
+        self._taps: List[_LoopTap] = []
+        lb_target_inputs: Set[int] = set()
+        for path in testbench.loopbacks:
+            for src, dst in zip(path.sources, path.targets):
+                self._taps.append(
+                    _LoopTap(
+                        source_value_idx=self.sim.net_index[src],
+                        target_value_idx=self.sim.net_index[dst],
+                        source_out_bit=out_bit[src],
+                        delay=path.delay,
+                        slots=[0] * path.delay,
+                    )
+                )
+                lb_target_inputs.add(self.sim.net_index[dst])
+        # Inputs driven open-loop (everything except loopback targets).
+        self._open_inputs = [
+            (i, idx)
+            for i, idx in enumerate(self._input_value_idx)
+            if idx not in lb_target_inputs
+        ]
+
+        observables = criterion.observable_nets() + [
+            src for path in testbench.loopbacks for src in path.sources
+        ]
+        relevant = relevant_flip_flops(netlist, observables)
+        self.relevant_ff_names = relevant
+        self._relevant_pairs: List[Tuple[int, int]] = []
+        for ff_index, ff in enumerate(self.sim.flip_flops):
+            if ff.name in relevant:
+                q_idx = self.sim.net_index[ff.output_net()]
+                self._relevant_pairs.append((q_idx, ff_index))
+
+    # ----------------------------------------------------------------- API
+
+    def ff_index(self, ff_name: str) -> int:
+        return self.sim.ff_index[ff_name]
+
+    def run_batch(
+        self,
+        cycle: int,
+        ff_indices: Sequence[int],
+        horizon: Optional[int] = None,
+    ) -> BatchOutcome:
+        """Simulate one SEU per lane, all injected at *cycle*.
+
+        Returns the per-lane failure mask.  The forward run stops at the end
+        of the golden trace, after *horizon* cycles, or as soon as every
+        lane has failed or re-converged to golden — whichever comes first.
+        """
+        golden = self.golden
+        if not 0 <= cycle < golden.n_cycles:
+            raise ValueError(f"injection cycle {cycle} outside trace [0, {golden.n_cycles})")
+        n = len(ff_indices)
+        sim = self.sim
+        sim.resize_lanes(n)
+        mask = sim.mask
+        values = sim.values
+
+        sim.load_ff_state_packed(golden.ff_state[cycle])
+        for lane, ff_idx in enumerate(ff_indices):
+            sim.flip_ff(ff_idx, 1 << lane)
+
+        for tap in self._taps:
+            for past in range(cycle - tap.delay, cycle):
+                if past < 0:
+                    tap.slots[past % tap.delay] = 0
+                else:
+                    bit = (golden.outputs[past] >> tap.source_out_bit) & 1
+                    tap.slots[past % tap.delay] = mask if bit else 0
+
+        end = golden.n_cycles
+        if horizon is not None:
+            end = min(end, cycle + horizon)
+
+        failed = 0
+        latencies: Dict[int, int] = {}
+        criterion = self._criterion
+        check = self.check_interval
+        c = cycle
+        while c < end:
+            vec = golden.applied_inputs[c]
+            for bit_pos, value_idx in self._open_inputs:
+                values[value_idx] = mask if (vec >> bit_pos) & 1 else 0
+            for tap in self._taps:
+                values[tap.target_value_idx] = tap.slots[c % tap.delay]
+            sim.eval_comb()
+            newly = criterion.evaluate(values, golden.outputs[c], mask) & ~failed
+            if newly:
+                failed |= newly
+                latency = c - cycle
+                while newly:
+                    low = newly & -newly
+                    latencies[low.bit_length() - 1] = latency
+                    newly ^= low
+            for tap in self._taps:
+                tap.slots[c % tap.delay] = values[tap.source_value_idx]
+            sim.tick()
+            c += 1
+            if (c - cycle) % check == 0 or c == end:
+                diverged = self._divergence(golden.ff_state[c], mask)
+                diverged |= self._loopback_divergence(c, mask)
+                if (failed | ~diverged) & mask == mask:
+                    break
+        return BatchOutcome(
+            failed_mask=failed & mask,
+            n_lanes=n,
+            cycles_simulated=c - cycle,
+            latencies=latencies,
+        )
+
+    def run_set_batch(
+        self,
+        cycle: int,
+        net_names: Sequence[str],
+        horizon: Optional[int] = None,
+    ) -> BatchOutcome:
+        """Simulate Single-Event Transients: lane *j* flips net ``net_names[j]``.
+
+        Cycle-level SET model: the transient inverts the struck combinational
+        net for the whole injection cycle, propagates through the downstream
+        cone (subject to **logical de-rating** — controlling values on other
+        gate inputs mask it), may corrupt primary outputs directly, and is
+        latched by whatever flip-flops sample it on the clock edge.  From the
+        next cycle on the run continues exactly like an SEU forward
+        simulation.  Electrical and sub-cycle temporal de-rating are below
+        this model's time resolution, as discussed in the paper's section II.
+        """
+        golden = self.golden
+        if not 0 <= cycle < golden.n_cycles:
+            raise ValueError(f"injection cycle {cycle} outside trace [0, {golden.n_cycles})")
+        n = len(net_names)
+        sim = self.sim
+        sim.resize_lanes(n)
+        mask = sim.mask
+        values = sim.values
+
+        sim.load_ff_state_packed(golden.ff_state[cycle])
+        for tap in self._taps:
+            for past in range(cycle - tap.delay, cycle):
+                if past < 0:
+                    tap.slots[past % tap.delay] = 0
+                else:
+                    bit = (golden.outputs[past] >> tap.source_out_bit) & 1
+                    tap.slots[past % tap.delay] = mask if bit else 0
+
+        # Injection cycle: settle fault-free, then force the struck nets and
+        # re-evaluate the downstream cones with the forces held.
+        vec = golden.applied_inputs[cycle]
+        for bit_pos, value_idx in self._open_inputs:
+            values[value_idx] = mask if (vec >> bit_pos) & 1 else 0
+        for tap in self._taps:
+            values[tap.target_value_idx] = tap.slots[cycle % tap.delay]
+        sim.eval_comb()
+        forces: Dict[int, int] = {}
+        for lane, net in enumerate(net_names):
+            idx = sim.net_index[net]
+            forces[idx] = forces.get(idx, 0) | (1 << lane)
+        self._propagate_forced(forces, mask)
+
+        latencies: Dict[int, int] = {}
+        failed = self._criterion.evaluate(values, golden.outputs[cycle], mask)
+        if failed:
+            probe = failed
+            while probe:
+                low = probe & -probe
+                latencies[low.bit_length() - 1] = 0
+                probe ^= low
+        for tap in self._taps:
+            tap.slots[cycle % tap.delay] = values[tap.source_value_idx]
+        sim.tick()
+
+        # Continue as a plain forward run from the next cycle.
+        end = golden.n_cycles
+        if horizon is not None:
+            end = min(end, cycle + horizon)
+        criterion = self._criterion
+        check = self.check_interval
+        c = cycle + 1
+        while c < end:
+            vec = golden.applied_inputs[c]
+            for bit_pos, value_idx in self._open_inputs:
+                values[value_idx] = mask if (vec >> bit_pos) & 1 else 0
+            for tap in self._taps:
+                values[tap.target_value_idx] = tap.slots[c % tap.delay]
+            sim.eval_comb()
+            newly = criterion.evaluate(values, golden.outputs[c], mask) & ~failed
+            if newly:
+                failed |= newly
+                while newly:
+                    low = newly & -newly
+                    latencies.setdefault(low.bit_length() - 1, c - cycle)
+                    newly ^= low
+            for tap in self._taps:
+                tap.slots[c % tap.delay] = values[tap.source_value_idx]
+            sim.tick()
+            c += 1
+            if (c - cycle) % check == 0 or c == end:
+                diverged = self._divergence(golden.ff_state[c], mask)
+                diverged |= self._loopback_divergence(c, mask)
+                if (failed | ~diverged) & mask == mask:
+                    break
+        return BatchOutcome(
+            failed_mask=failed & mask,
+            n_lanes=n,
+            cycles_simulated=c - cycle,
+            latencies=latencies,
+        )
+
+    def _propagate_forced(self, forces: Dict[int, int], mask: int) -> None:
+        """Apply per-lane net inversions and re-settle the downstream logic.
+
+        Walks the combinational cells in topological order, re-evaluating any
+        cell with a dirty input; a forced net stays inverted even if its
+        driver is re-evaluated (the transient dominates for the cycle).
+        """
+        sim = self.sim
+        values = sim.values
+        dirty = set()
+        for idx, lane_mask_bits in forces.items():
+            values[idx] ^= lane_mask_bits
+            dirty.add(idx)
+        for cell_name in self.netlist.topological_comb_order():
+            cell = self.netlist.cells[cell_name]
+            in_idxs = [sim.net_index[n] for n in cell.input_nets()]
+            if not any(i in dirty for i in in_idxs):
+                continue
+            out_idx = sim.net_index[cell.output_net()]
+            new_value = cell.ctype.evaluate([values[i] for i in in_idxs], mask)
+            new_value ^= forces.get(out_idx, 0)
+            if new_value != values[out_idx]:
+                values[out_idx] = new_value
+                dirty.add(out_idx)
+
+    # ------------------------------------------------------------ internals
+
+    def _divergence(self, golden_packed: int, mask: int) -> int:
+        """Per-lane mask of lanes whose relevant FF state differs from golden."""
+        diff = 0
+        values = self.sim.values
+        for q_idx, ff_index in self._relevant_pairs:
+            golden = mask if (golden_packed >> ff_index) & 1 else 0
+            diff |= values[q_idx] ^ golden
+            if diff == mask:
+                return diff
+        return diff
+
+    def _loopback_divergence(self, next_cycle: int, mask: int) -> int:
+        """Lanes whose in-flight loopback values differ from the golden record."""
+        diff = 0
+        golden = self.golden
+        for tap in self._taps:
+            for past in range(max(0, next_cycle - tap.delay), next_cycle):
+                if past >= golden.n_cycles:
+                    continue
+                bit = (golden.outputs[past] >> tap.source_out_bit) & 1
+                diff |= tap.slots[past % tap.delay] ^ (mask if bit else 0)
+        return diff & mask

@@ -1,0 +1,29 @@
+"""Per-flip-flop feature extraction (structural, synthesis, dynamic)."""
+
+from .dataset import Dataset
+from .dynamic import DYNAMIC_FEATURES, extract_dynamic
+from .extended import EXTENDED_FEATURES, extend_dataset, extract_extended
+from .extractor import ALL_FEATURES, FEATURE_GROUPS, FeatureExtractor, build_dataset
+from .graph import CircuitGraph, ConeSummary
+from .structural import STRUCTURAL_FEATURES, bus_membership, extract_structural
+from .synthesis import SYNTHESIS_FEATURES, extract_synthesis
+
+__all__ = [
+    "Dataset",
+    "DYNAMIC_FEATURES",
+    "extract_dynamic",
+    "EXTENDED_FEATURES",
+    "extend_dataset",
+    "extract_extended",
+    "ALL_FEATURES",
+    "FEATURE_GROUPS",
+    "FeatureExtractor",
+    "build_dataset",
+    "CircuitGraph",
+    "ConeSummary",
+    "STRUCTURAL_FEATURES",
+    "bus_membership",
+    "extract_structural",
+    "SYNTHESIS_FEATURES",
+    "extract_synthesis",
+]

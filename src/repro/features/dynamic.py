@@ -1,0 +1,34 @@
+"""Dynamic (signal-activity) features (paper section III-B, third group).
+
+Obtained "by simulating the gate-level netlist with the corresponding
+testbench and tracing the signal changes at the output of the flip-flops":
+the @0 and @1 time ratios and the number of state changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..sim.activity import ActivityTrace
+from ..sim.testbench import GoldenTrace
+
+__all__ = ["DYNAMIC_FEATURES", "extract_dynamic"]
+
+DYNAMIC_FEATURES: Tuple[str, ...] = (
+    "at_zero",
+    "at_one",
+    "state_changes",
+)
+
+
+def extract_dynamic(golden: GoldenTrace) -> Dict[str, Dict[str, float]]:
+    """Dynamic feature dict per flip-flop name, from a recorded golden run."""
+    activity = ActivityTrace.from_golden(golden)
+    features: Dict[str, Dict[str, float]] = {}
+    for i, name in enumerate(activity.ff_names):
+        features[name] = {
+            "at_zero": activity.at_zero[i],
+            "at_one": activity.at_one[i],
+            "state_changes": float(activity.state_changes[i]),
+        }
+    return features

@@ -1,0 +1,97 @@
+"""Extended feature set (paper §V: "further features should be considered").
+
+Four additional per-flip-flop features built from *net-level* activity of a
+fault-free workload run — quantities the paper's own citations ([3]-[5])
+relate to logical masking, but which its feature set only captures at the
+flip-flop outputs:
+
+``d_input_at_one``
+    signal probability of the D input net (how often the sampled value is 1);
+``d_input_toggle_rate``
+    toggle rate of the D input net (how often the FF samples a *new* value —
+    a proxy for the fraction of cycles in which an upset is overwritten
+    within one cycle);
+``cone_avg_toggle_rate``
+    mean toggle rate over the nets of the input cone (activity of the logic
+    computing the next state);
+``fanout_avg_at_one``
+    mean signal probability over the nets of the output cone (biased
+    downstream logic masks upsets more often — logical de-rating).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..netlist.core import Netlist
+from ..sim.activity import NetActivity, collect_net_activity
+from ..sim.testbench import Testbench
+from .dataset import Dataset
+from .graph import CircuitGraph
+
+__all__ = ["EXTENDED_FEATURES", "extract_extended", "extend_dataset"]
+
+EXTENDED_FEATURES: Tuple[str, ...] = (
+    "d_input_at_one",
+    "d_input_toggle_rate",
+    "cone_avg_toggle_rate",
+    "fanout_avg_at_one",
+)
+
+
+def extract_extended(
+    netlist: Netlist,
+    net_activity: Dict[str, NetActivity],
+    graph: CircuitGraph | None = None,
+) -> Dict[str, Dict[str, float]]:
+    """Extended feature dict per flip-flop name."""
+    graph = graph if graph is not None else CircuitGraph(netlist)
+    features: Dict[str, Dict[str, float]] = {}
+    for name in graph.ff_names:
+        ff = netlist.cells[name]
+        d_net = ff.connections["D"]
+        d_activity = net_activity[d_net]
+        in_cone = graph.input_cones[name]
+        cone_rates = [
+            net_activity[netlist.cells[c].output_net()].toggle_rate
+            for c in in_cone.comb_cells
+        ]
+        out_cone = graph.output_cones[name]
+        fanout_probs = [
+            net_activity[netlist.cells[c].output_net()].at_one
+            for c in out_cone.comb_cells
+        ]
+        features[name] = {
+            "d_input_at_one": d_activity.at_one,
+            "d_input_toggle_rate": d_activity.toggle_rate,
+            "cone_avg_toggle_rate": float(np.mean(cone_rates)) if cone_rates else 0.0,
+            "fanout_avg_at_one": float(np.mean(fanout_probs)) if fanout_probs else 0.0,
+        }
+    return features
+
+
+def extend_dataset(dataset: Dataset, netlist: Netlist, testbench: Testbench) -> Dataset:
+    """Append the four extended feature columns to a labelled dataset.
+
+    The net-level activity pass re-runs the workload once; rows keep the
+    dataset's flip-flop order, and the new columns are registered under the
+    ``extended`` feature group for ablations.
+    """
+    net_activity = collect_net_activity(testbench)
+    extended = extract_extended(netlist, net_activity)
+    new_columns = np.array(
+        [[extended[name][col] for col in EXTENDED_FEATURES] for name in dataset.ff_names],
+        dtype=np.float64,
+    )
+    groups = {g: list(cols) for g, cols in dataset.groups.items()}
+    groups["extended"] = list(EXTENDED_FEATURES)
+    return Dataset(
+        ff_names=list(dataset.ff_names),
+        feature_names=list(dataset.feature_names) + list(EXTENDED_FEATURES),
+        X=np.hstack([dataset.X, new_columns]),
+        y=dataset.y.copy(),
+        groups=groups,
+        meta=dict(dataset.meta),
+    )

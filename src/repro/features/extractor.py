@@ -1,0 +1,102 @@
+"""Feature extraction orchestration.
+
+Combines the three feature groups of paper section III-B — structural,
+synthesis and dynamic — into a single per-flip-flop matrix, and assembles a
+labelled :class:`~repro.features.dataset.Dataset` when paired with a fault
+campaign's FDR results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..faultinjection.campaign import CampaignResult
+from ..netlist.core import Netlist
+from ..sim.testbench import GoldenTrace
+from .dataset import Dataset
+from .dynamic import DYNAMIC_FEATURES, extract_dynamic
+from .graph import CircuitGraph
+from .structural import STRUCTURAL_FEATURES, extract_structural
+from .synthesis import SYNTHESIS_FEATURES, extract_synthesis
+
+__all__ = ["FeatureExtractor", "build_dataset", "ALL_FEATURES", "FEATURE_GROUPS"]
+
+ALL_FEATURES: List[str] = [
+    *STRUCTURAL_FEATURES,
+    *SYNTHESIS_FEATURES,
+    *DYNAMIC_FEATURES,
+]
+
+FEATURE_GROUPS: Dict[str, List[str]] = {
+    "structural": list(STRUCTURAL_FEATURES),
+    "synthesis": list(SYNTHESIS_FEATURES),
+    "dynamic": list(DYNAMIC_FEATURES),
+}
+
+
+class FeatureExtractor:
+    """Extracts the full paper feature set for every flip-flop of a netlist."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.graph = CircuitGraph(netlist)
+
+    def extract(self, golden: GoldenTrace) -> Dict[str, Dict[str, float]]:
+        """Per-flip-flop feature dictionaries (all groups merged)."""
+        structural = extract_structural(self.netlist, self.graph)
+        synthesis = extract_synthesis(self.netlist, self.graph)
+        dynamic = extract_dynamic(golden)
+        merged: Dict[str, Dict[str, float]] = {}
+        for name in self.graph.ff_names:
+            row: Dict[str, float] = {}
+            row.update(structural[name])
+            row.update(synthesis[name])
+            row.update(dynamic[name])
+            merged[name] = row
+        return merged
+
+    def matrix(self, golden: GoldenTrace) -> np.ndarray:
+        """Feature matrix in ``netlist.flip_flops()`` row order."""
+        features = self.extract(golden)
+        rows = [
+            [features[name][col] for col in ALL_FEATURES] for name in self.graph.ff_names
+        ]
+        return np.array(rows, dtype=np.float64)
+
+
+def build_dataset(
+    netlist: Netlist,
+    golden: GoldenTrace,
+    campaign: CampaignResult,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dataset:
+    """Assemble the labelled dataset from features and campaign FDR results.
+
+    Rows are restricted to flip-flops present in the campaign (a training
+    subset campaign yields a training subset dataset).
+    """
+    extractor = FeatureExtractor(netlist)
+    features = extractor.extract(golden)
+    ff_names = [name for name in extractor.graph.ff_names if name in campaign.results]
+    X = np.array(
+        [[features[name][col] for col in ALL_FEATURES] for name in ff_names],
+        dtype=np.float64,
+    )
+    y = np.array([campaign.results[name].fdr for name in ff_names], dtype=np.float64)
+    dataset_meta: Dict[str, object] = {
+        "circuit": netlist.name,
+        "n_injections": campaign.n_injections,
+        "campaign_seed": campaign.seed,
+    }
+    if meta:
+        dataset_meta.update(meta)
+    return Dataset(
+        ff_names=ff_names,
+        feature_names=list(ALL_FEATURES),
+        X=X,
+        y=y,
+        groups={g: list(cols) for g, cols in FEATURE_GROUPS.items()},
+        meta=dataset_meta,
+    )

@@ -1,0 +1,149 @@
+"""Structural per-flip-flop features (paper section III-B, first group).
+
+All fifteen structural quantities the paper defines, extracted from the
+:class:`~repro.features.graph.CircuitGraph`:
+
+fan-in/fan-out, transitive flip-flop counts, primary-I/O connection counts,
+min/avg/max stage proximities to primary inputs and outputs, bus membership
+(position/length, recovered from the ``name[index]`` bit-naming convention
+of the synthesized netlist), constant-driver connections, and feedback-loop
+presence/depth.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from ..netlist.core import Netlist
+from .graph import CircuitGraph
+
+__all__ = ["STRUCTURAL_FEATURES", "bus_membership", "extract_structural"]
+
+STRUCTURAL_FEATURES: Tuple[str, ...] = (
+    "ff_fan_in",
+    "ff_fan_out",
+    "total_ffs_from",
+    "total_ffs_to",
+    "conn_from_primary_input",
+    "conn_to_primary_output",
+    "proximity_from_pi_min",
+    "proximity_from_pi_avg",
+    "proximity_from_pi_max",
+    "proximity_to_po_min",
+    "proximity_to_po_avg",
+    "proximity_to_po_max",
+    "part_of_bus",
+    "bus_position",
+    "bus_length",
+    "conn_to_const_drivers",
+    "has_feedback_loop",
+    "feedback_loop_depth",
+)
+
+_BUS_RE = re.compile(r"^(?P<base>.+)\[(?P<index>\d+)\]$")
+
+
+def bus_membership(ff_names: Sequence[str]) -> Dict[str, Tuple[int, int, int]]:
+    """Recover ``(part_of_bus, position, length)`` per flip-flop from names.
+
+    Flip-flop instances are named after the register bit they implement
+    (``ff_rx_crc[7]``); bits sharing a base name form a bus.  Singleton
+    "buses" are treated as scalars, mirroring how a netlist-based extractor
+    would see a one-bit register.
+    """
+    groups: Dict[str, List[Tuple[int, str]]] = defaultdict(list)
+    scalar: List[str] = []
+    for name in ff_names:
+        match = _BUS_RE.match(name)
+        if match:
+            groups[match.group("base")].append((int(match.group("index")), name))
+        else:
+            scalar.append(name)
+    result: Dict[str, Tuple[int, int, int]] = {}
+    for base, bits in groups.items():
+        if len(bits) == 1:
+            result[bits[0][1]] = (0, -1, 0)
+            continue
+        length = len(bits)
+        for index, name in bits:
+            result[name] = (1, index, length)
+    for name in scalar:
+        result[name] = (0, -1, 0)
+    return result
+
+
+def _stats(values: Sequence[int]) -> Tuple[float, float, float]:
+    """(min, avg, max) with the paper's -1 sentinel for empty sets."""
+    if not values:
+        return (-1.0, -1.0, -1.0)
+    return (float(min(values)), sum(values) / len(values), float(max(values)))
+
+
+def extract_structural(netlist: Netlist, graph: CircuitGraph | None = None) -> Dict[str, Dict[str, float]]:
+    """Structural feature dict per flip-flop name."""
+    graph = graph if graph is not None else CircuitGraph(netlist)
+    total_from, total_to = graph.transitive_counts()
+    pi_dist = graph.pi_stage_distances()
+    po_dist = graph.po_stage_distances()
+    buses = bus_membership(graph.ff_names)
+
+    features: Dict[str, Dict[str, float]] = {}
+    for name in graph.ff_names:
+        in_cone = graph.input_cones[name]
+        out_cone = graph.output_cones[name]
+        pi_min, pi_avg, pi_max = _stats(pi_dist[name])
+        po_min, po_avg, po_max = _stats(po_dist[name])
+        on_cycle = total_to[name] > 0 and name in _descendant_cache(graph)[name]
+        loop_depth = graph.feedback_depth(name, on_cycle)
+        part, position, length = buses[name]
+        features[name] = {
+            "ff_fan_in": float(len(in_cone.ff_sources)),
+            "ff_fan_out": float(len(out_cone.ff_sinks)),
+            "total_ffs_from": float(total_from[name]),
+            "total_ffs_to": float(total_to[name]),
+            "conn_from_primary_input": float(len(in_cone.primary_inputs)),
+            "conn_to_primary_output": float(len(out_cone.primary_outputs)),
+            "proximity_from_pi_min": pi_min,
+            "proximity_from_pi_avg": pi_avg,
+            "proximity_from_pi_max": pi_max,
+            "proximity_to_po_min": po_min,
+            "proximity_to_po_avg": po_avg,
+            "proximity_to_po_max": po_max,
+            "part_of_bus": float(part),
+            "bus_position": float(position),
+            "bus_length": float(length),
+            "conn_to_const_drivers": float(in_cone.const_drivers),
+            "has_feedback_loop": 1.0 if loop_depth > 0 else 0.0,
+            "feedback_loop_depth": float(loop_depth),
+        }
+    return features
+
+
+_DESC_CACHE: Dict[int, Dict[str, set]] = {}
+
+
+def _descendant_cache(graph: CircuitGraph) -> Dict[str, set]:
+    """Per-FF self-reachability helper (ff in its own descendant set)."""
+    key = id(graph)
+    cached = _DESC_CACHE.get(key)
+    if cached is not None:
+        return cached
+    import networkx as nx
+
+    ff_graph = graph.ff_only_graph()
+    condensed = nx.condensation(ff_graph)
+    members = {n: set(condensed.nodes[n]["members"]) for n in condensed.nodes}
+    result: Dict[str, set] = {}
+    for node in condensed.nodes:
+        group = members[node]
+        if len(group) > 1:
+            for ff in group:
+                result[ff] = {ff}
+        else:
+            (ff,) = group
+            result[ff] = {ff} if ff_graph.has_edge(ff, ff) else set()
+    _DESC_CACHE.clear()
+    _DESC_CACHE[key] = result
+    return result

@@ -1,0 +1,44 @@
+"""Synthesis-attribute features (paper section III-B, second group).
+
+The paper obtains these from Synopsys Design Compiler; here they come from
+our own synthesis pass (:mod:`repro.synth`), which records the same
+attributes in the mapped netlist:
+
+* **drive strength** selected for the flip-flop by the sizing pass,
+* **combinational fan-in** — combinational cells in the input cone up to
+  the previous flip-flop stage,
+* **combinational fan-out** — combinational cells driven by the output up
+  to the next stage,
+* **combinational path depth** at the flip-flop's output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..netlist.core import Netlist
+from .graph import CircuitGraph
+
+__all__ = ["SYNTHESIS_FEATURES", "extract_synthesis"]
+
+SYNTHESIS_FEATURES: Tuple[str, ...] = (
+    "drive_strength",
+    "comb_fan_in",
+    "comb_fan_out",
+    "comb_path_depth",
+)
+
+
+def extract_synthesis(netlist: Netlist, graph: CircuitGraph | None = None) -> Dict[str, Dict[str, float]]:
+    """Synthesis feature dict per flip-flop name."""
+    graph = graph if graph is not None else CircuitGraph(netlist)
+    features: Dict[str, Dict[str, float]] = {}
+    for name in graph.ff_names:
+        cell = netlist.cells[name]
+        features[name] = {
+            "drive_strength": float(cell.drive),
+            "comb_fan_in": float(len(graph.input_cones[name].comb_cells)),
+            "comb_fan_out": float(len(graph.output_cones[name].comb_cells)),
+            "comb_path_depth": float(graph.comb_depth_from(name)),
+        }
+    return features

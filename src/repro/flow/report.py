@@ -1,0 +1,116 @@
+"""One-command reproduction report.
+
+:func:`generate_report` runs the core experiments on a labelled dataset and
+renders a single self-contained markdown document: Table I vs. the paper,
+per-figure learning-curve tables, future-work models and the campaign
+economics — the quickest way to eyeball a fresh reproduction run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..experiments.common import PAPER_TABLE1
+from ..experiments.figures import FIGURE_MODELS, run_figure
+from ..experiments.future_work import run_future_work
+from ..experiments.table1 import run_table1
+from ..features.dataset import Dataset
+
+__all__ = ["generate_report"]
+
+_METRICS = ("mae", "max", "rmse", "ev", "r2")
+
+
+def _metric_row(name: str, values: dict) -> str:
+    cells = " | ".join(f"{values[m]:.3f}" for m in _METRICS)
+    return f"| {name} | {cells} |"
+
+
+def generate_report(
+    dataset: Dataset,
+    cv_folds: int = 10,
+    curve_sizes: Optional[List[float]] = None,
+    seed: int = 0,
+    include_future_work: bool = True,
+) -> str:
+    """Run Table I + Figs. 2-4 (+ future work) and render markdown."""
+    curve_sizes = curve_sizes or [0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+    lines: List[str] = []
+    circuit = dataset.meta.get("circuit", "?")
+    n_inj = dataset.meta.get("n_injections", "?")
+    lines.append("# Reproduction report")
+    lines.append("")
+    lines.append(
+        f"Dataset: circuit `{circuit}`, {dataset.n_samples} flip-flops x "
+        f"{dataset.n_features} features, {n_inj} injections per flip-flop, "
+        f"cv = {cv_folds}, seed = {seed}."
+    )
+    lines.append("")
+
+    table1 = run_table1(dataset, cv_folds=cv_folds, seed=seed)
+    lines.append("## Table I")
+    lines.append("")
+    header = "| Model | " + " | ".join(m.upper() for m in _METRICS) + " |"
+    lines.append(header)
+    lines.append("|" + "---|" * (len(_METRICS) + 1))
+    for model, metrics in table1.rows.items():
+        lines.append(_metric_row(model, metrics))
+    lines.append("")
+    lines.append("Paper reference:")
+    lines.append("")
+    lines.append(header)
+    lines.append("|" + "---|" * (len(_METRICS) + 1))
+    for model, metrics in PAPER_TABLE1.items():
+        lines.append(_metric_row(model, metrics))
+    lines.append("")
+    lines.append(
+        f"Shape holds (linear worst, k-NN ~ SVR): **{table1.shape_holds()}**"
+    )
+    lines.append("")
+
+    for figure in sorted(FIGURE_MODELS):
+        result = run_figure(
+            dataset, figure, cv_folds=cv_folds, curve_sizes=curve_sizes, seed=seed
+        )
+        lines.append(f"## {figure} — {result.model_name}")
+        lines.append("")
+        lines.append(
+            f"Example test fold at 50 % training: MAE of the fold = "
+            f"{float(abs(result.test_error).mean()):.3f}, worst error = "
+            f"{float(abs(result.test_error).max()):.3f}."
+        )
+        lines.append("")
+        if result.curve is not None:
+            lines.append("| training size | train R² | test R² |")
+            lines.append("|---|---|---|")
+            for size, tr, te in zip(
+                result.curve.train_sizes,
+                result.curve.mean_train(),
+                result.curve.mean_test(),
+            ):
+                lines.append(f"| {size:.0%} | {tr:.3f} | {te:.3f} |")
+            lines.append("")
+
+    if include_future_work:
+        future = run_future_work(dataset, cv_folds=cv_folds, seed=seed)
+        lines.append("## Future-work models (paper section V)")
+        lines.append("")
+        lines.append(header)
+        lines.append("|" + "---|" * (len(_METRICS) + 1))
+        for model, metrics in future.rows.items():
+            lines.append(_metric_row(model, metrics))
+        lines.append("")
+        lines.append(f"Best: **{future.best_model()}**")
+        lines.append("")
+
+    n_ffs = dataset.n_samples
+    if isinstance(n_inj, int):
+        lines.append("## Campaign economics")
+        lines.append("")
+        lines.append(
+            f"Full flat campaign: {n_ffs} x {n_inj} = {n_ffs * n_inj} injections. "
+            f"Training at 50 % saves {n_ffs * n_inj // 2} injections (2x); "
+            f"training at 20 % saves {int(n_ffs * n_inj * 0.8)} (5x)."
+        )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Estimator base machinery for the from-scratch ML library.
+
+The paper implements its models "using Python's scikit-learn Machine
+Learning framework"; scikit-learn is not available in this environment, so
+:mod:`repro.ml` reimplements the required estimators, model selection and
+metrics on top of numpy.  This module supplies the shared estimator
+protocol: constructor-introspected hyperparameters (``get_params`` /
+``set_params``), :func:`clone`, and input validation helpers.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["BaseEstimator", "clone", "check_X_y", "check_X"]
+
+
+def check_X(X: Any) -> np.ndarray:
+    """Validate and convert a feature matrix to float64 2-D."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError("empty feature matrix")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("feature matrix contains NaN or infinity")
+    return X
+
+
+def check_X_y(X: Any, y: Any) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a matching feature matrix / target vector pair."""
+    X = check_X(X)
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError(f"expected a 1-D target vector, got shape {y.shape}")
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if not np.all(np.isfinite(y)):
+        raise ValueError("target vector contains NaN or infinity")
+    return X, y
+
+
+class BaseEstimator:
+    """Common estimator behaviour.
+
+    Subclasses declare hyperparameters exclusively as keyword arguments of
+    ``__init__`` and store them under the same attribute names; fitted state
+    uses trailing-underscore attributes (``coef_``, ``support_``, …).
+    """
+
+    @classmethod
+    def _param_names(cls) -> List[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, param in signature.parameters.items()
+            if name != "self" and param.kind != inspect.Parameter.VAR_KEYWORD
+        ]
+
+    def get_params(self) -> Dict[str, Any]:
+        """Hyperparameters as a dict (fitted state excluded)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyperparameters; unknown names raise ``ValueError``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise RuntimeError(f"{type(self).__name__} is not fitted yet")
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Fresh, unfitted copy with identical hyperparameters.
+
+    Only constructor parameters are passed through; estimators whose
+    ``get_params`` exposes extra (e.g. nested ``step__param``) keys, like
+    :class:`~repro.ml.pipeline.Pipeline`, are handled correctly.
+    """
+    names = set(estimator._param_names())
+    params = {k: v for k, v in estimator.get_params().items() if k in names}
+    return type(estimator)(**params)

@@ -1,0 +1,84 @@
+"""Linear models.
+
+:class:`LinearLeastSquares` is the paper's first model: an ordinary
+least-squares fit that "expects the target value to be a linear combination
+of the input variables" and "aims to minimise the residual sum of squares".
+The paper uses it as the baseline that demonstrably *cannot* fit the FDR
+problem (Table I).  :class:`RidgeRegression` adds L2 regularization, useful
+for the near-collinear feature columns (@0 + @1 = 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+__all__ = ["LinearLeastSquares", "RidgeRegression"]
+
+
+class LinearLeastSquares(BaseEstimator):
+    """Ordinary least squares: ``y ≈ X @ coef_ + intercept_``.
+
+    Solved with a rank-tolerant SVD least-squares solve, so exactly
+    collinear features (which the paper's feature set contains) do not blow
+    up the coefficients.
+    """
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "LinearLeastSquares":
+        X, y = check_X_y(X, y)
+        if self.fit_intercept:
+            design = np.hstack([X, np.ones((X.shape[0], 1))])
+        else:
+            design = X
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_ = solution[:-1]
+            self.intercept_ = float(solution[-1])
+        else:
+            self.coef_ = solution
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_X(X)
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(BaseEstimator):
+    """L2-regularized least squares (closed form).
+
+    Minimises ``||y - Xw||² + alpha * ||w||²``; the intercept is not
+    penalized (handled by centring).
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X, y = check_X_y(X, y)
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+        gram = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_X(X)
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,88 @@
+"""Regression evaluation metrics (paper section III-C).
+
+Implements exactly the five metrics the paper uses to benchmark its models:
+mean absolute error, maximum absolute error, root-mean-square error,
+explained variance and the coefficient of determination R².
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_error",
+    "max_absolute_error",
+    "root_mean_squared_error",
+    "explained_variance",
+    "r2_score",
+    "all_metrics",
+    "METRIC_FUNCTIONS",
+]
+
+
+def _check(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty target arrays")
+    return y_true, y_pred
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """MAE — equation (1); closer to zero is better."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def max_absolute_error(y_true, y_pred) -> float:
+    """MAX — equation (2); the worst single prediction."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.max(np.abs(y_true - y_pred)))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """RMSE — equation (3); weights large errors more heavily than MAE."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def explained_variance(y_true, y_pred) -> float:
+    """EV — equation (4); best value 1.
+
+    ``1 - Var(y - yhat) / Var(y)``.  A constant target with perfect
+    prediction scores 1; a constant target with error scores 0.
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    var_y = float(np.var(y_true))
+    var_residual = float(np.var(y_true - y_pred))
+    if var_y == 0.0:
+        return 1.0 if var_residual == 0.0 else 0.0
+    return 1.0 - var_residual / var_y
+
+
+def r2_score(y_true, y_pred) -> float:
+    """R² — equation (5); best value 1, can be arbitrarily negative."""
+    y_true, y_pred = _check(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+METRIC_FUNCTIONS = {
+    "mae": mean_absolute_error,
+    "max": max_absolute_error,
+    "rmse": root_mean_squared_error,
+    "ev": explained_variance,
+    "r2": r2_score,
+}
+
+
+def all_metrics(y_true, y_pred) -> Dict[str, float]:
+    """All five paper metrics as a dict keyed mae/max/rmse/ev/r2."""
+    return {name: fn(y_true, y_pred) for name, fn in METRIC_FUNCTIONS.items()}

@@ -1,0 +1,200 @@
+"""Multi-layer perceptron regressor (Adam-trained).
+
+The last of the paper's future-work models: a small fully-connected network
+with ReLU or tanh hidden activations, trained by mini-batch Adam on squared
+loss with optional L2 weight decay and early stopping on a validation
+split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+__all__ = ["MLPRegressor"]
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _relu_grad(z: np.ndarray) -> np.ndarray:
+    return (z > 0.0).astype(z.dtype)
+
+
+def _tanh_grad(z: np.ndarray) -> np.ndarray:
+    return 1.0 - np.tanh(z) ** 2
+
+
+class MLPRegressor(BaseEstimator):
+    """Feed-forward network ``in → hidden… → 1`` trained with Adam.
+
+    Parameters
+    ----------
+    hidden_layer_sizes:
+        Widths of the hidden layers.
+    activation:
+        ``"relu"`` or ``"tanh"``.
+    alpha:
+        L2 penalty on the weights.
+    max_epochs / batch_size / learning_rate:
+        Optimization schedule.
+    early_stopping / validation_fraction / patience:
+        Stop when the validation loss has not improved for *patience*
+        epochs, restoring the best weights.
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: Sequence[int] = (64, 32),
+        activation: str = "relu",
+        alpha: float = 1e-4,
+        learning_rate: float = 1e-3,
+        max_epochs: int = 300,
+        batch_size: int = 32,
+        early_stopping: bool = True,
+        validation_fraction: float = 0.15,
+        patience: int = 25,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.activation = activation
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.max_epochs = max_epochs
+        self.batch_size = batch_size
+        self.early_stopping = early_stopping
+        self.validation_fraction = validation_fraction
+        self.patience = patience
+        self.random_state = random_state
+
+    # ----------------------------------------------------------------- fit
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X, y = check_X_y(X, y)
+        if self.activation not in ("relu", "tanh"):
+            raise ValueError("activation must be 'relu' or 'tanh'")
+        rng = np.random.default_rng(self.random_state)
+        n, d = X.shape
+
+        if self.early_stopping and n >= 10:
+            n_val = max(1, int(round(self.validation_fraction * n)))
+            perm = rng.permutation(n)
+            val_idx, train_idx = perm[:n_val], perm[n_val:]
+            X_train, y_train = X[train_idx], y[train_idx]
+            X_val, y_val = X[val_idx], y[val_idx]
+        else:
+            X_train, y_train = X, y
+            X_val = y_val = None
+
+        sizes = [d, *self.hidden_layer_sizes, 1]
+        weights: List[np.ndarray] = []
+        biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            bound = np.sqrt(6.0 / (fan_in + fan_out))
+            weights.append(rng.uniform(-bound, bound, size=(fan_in, fan_out)))
+            biases.append(np.zeros(fan_out))
+
+        m_w = [np.zeros_like(w) for w in weights]
+        v_w = [np.zeros_like(w) for w in weights]
+        m_b = [np.zeros_like(b) for b in biases]
+        v_b = [np.zeros_like(b) for b in biases]
+        beta1, beta2, eps_adam = 0.9, 0.999, 1e-8
+        lr = self.learning_rate
+        step = 0
+
+        best_val = np.inf
+        best_state: Optional[Tuple[List[np.ndarray], List[np.ndarray]]] = None
+        stale = 0
+        self.loss_curve_: List[float] = []
+
+        n_train = X_train.shape[0]
+        batch = min(self.batch_size, n_train)
+        for epoch in range(self.max_epochs):
+            perm = rng.permutation(n_train)
+            epoch_loss = 0.0
+            for start in range(0, n_train, batch):
+                idx = perm[start : start + batch]
+                xb, yb = X_train[idx], y_train[idx]
+                # Forward
+                activations = [xb]
+                pre: List[np.ndarray] = []
+                h = xb
+                for layer, (w, b) in enumerate(zip(weights, biases)):
+                    z = h @ w + b
+                    pre.append(z)
+                    if layer < len(weights) - 1:
+                        h = _relu(z) if self.activation == "relu" else np.tanh(z)
+                    else:
+                        h = z
+                    activations.append(h)
+                pred = h[:, 0]
+                err = pred - yb
+                epoch_loss += float((err**2).sum())
+                # Backward
+                delta = (2.0 / len(idx)) * err[:, None]
+                grads_w: List[np.ndarray] = [None] * len(weights)  # type: ignore[list-item]
+                grads_b: List[np.ndarray] = [None] * len(weights)  # type: ignore[list-item]
+                for layer in reversed(range(len(weights))):
+                    grads_w[layer] = activations[layer].T @ delta + 2 * self.alpha * weights[layer]
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = delta @ weights[layer].T
+                        grad_fn = _relu_grad if self.activation == "relu" else _tanh_grad
+                        delta = delta * grad_fn(pre[layer - 1])
+                # Adam update
+                step += 1
+                correction1 = 1.0 - beta1**step
+                correction2 = 1.0 - beta2**step
+                for layer in range(len(weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    weights[layer] -= lr * (m_w[layer] / correction1) / (
+                        np.sqrt(v_w[layer] / correction2) + eps_adam
+                    )
+                    biases[layer] -= lr * (m_b[layer] / correction1) / (
+                        np.sqrt(v_b[layer] / correction2) + eps_adam
+                    )
+            self.loss_curve_.append(epoch_loss / n_train)
+
+            if X_val is not None:
+                val_pred = self._forward(X_val, weights, biases)
+                val_loss = float(np.mean((val_pred - y_val) ** 2))
+                if val_loss < best_val - 1e-9:
+                    best_val = val_loss
+                    best_state = (
+                        [w.copy() for w in weights],
+                        [b.copy() for b in biases],
+                    )
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.patience:
+                        break
+
+        if best_state is not None:
+            weights, biases = best_state
+        self.weights_ = weights
+        self.biases_ = biases
+        self.n_epochs_ = len(self.loss_curve_)
+        return self
+
+    def _forward(self, X: np.ndarray, weights, biases) -> np.ndarray:
+        h = X
+        for layer, (w, b) in enumerate(zip(weights, biases)):
+            z = h @ w + b
+            if layer < len(weights) - 1:
+                h = _relu(z) if self.activation == "relu" else np.tanh(z)
+            else:
+                h = z
+        return h[:, 0]
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("weights_")
+        X = check_X(X)
+        return self._forward(X, self.weights_, self.biases_)

@@ -1,0 +1,104 @@
+"""k-Nearest Neighbors regression.
+
+The paper's second model: "a weighted average of the k nearest neighbors is
+used to predict the value, where the weight is calculated by the inverse of
+the distances and the distance itself can be any metric measure, such as the
+Manhattan or Euclidean distance".  The paper's tuned hyperparameters are
+``k = 3`` with the Manhattan distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+__all__ = ["KNeighborsRegressor"]
+
+_METRICS = ("manhattan", "euclidean", "minkowski", "chebyshev")
+
+
+class KNeighborsRegressor(BaseEstimator):
+    """Distance-weighted k-NN regressor (brute-force, vectorized).
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours *k*.
+    metric:
+        ``"manhattan"``, ``"euclidean"``, ``"chebyshev"`` or
+        ``"minkowski"`` (with exponent *p*).
+    weights:
+        ``"distance"`` — inverse-distance weighting as in the paper (an
+        exact feature match predicts that sample's value); or
+        ``"uniform"`` — plain average.
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 3,
+        metric: str = "manhattan",
+        weights: str = "distance",
+        p: float = 2.0,
+    ) -> None:
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+        self.weights = weights
+        self.p = p
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        X, y = check_X_y(X, y)
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if self.metric not in _METRICS:
+            raise ValueError(f"unknown metric {self.metric!r}; choose from {_METRICS}")
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds training size {X.shape[0]}"
+            )
+        self.X_ = X
+        self.y_ = y
+        return self
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        """Pairwise distances query x train, shape (n_query, n_train)."""
+        diff = X[:, None, :] - self.X_[None, :, :]
+        if self.metric == "manhattan":
+            return np.abs(diff).sum(axis=2)
+        if self.metric == "euclidean":
+            return np.sqrt((diff**2).sum(axis=2))
+        if self.metric == "chebyshev":
+            return np.abs(diff).max(axis=2)
+        return (np.abs(diff) ** self.p).sum(axis=2) ** (1.0 / self.p)
+
+    def kneighbors(self, X) -> tuple:
+        """Indices and distances of the k nearest training samples."""
+        self._check_fitted("X_")
+        X = check_X(X)
+        distances = self._distances(X)
+        k = self.n_neighbors
+        idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        row = np.arange(X.shape[0])[:, None]
+        d = distances[row, idx]
+        order = np.argsort(d, axis=1)
+        return idx[row, order], d[row, order]
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("X_")
+        idx, dist = self.kneighbors(X)
+        neighbor_y = self.y_[idx]
+        if self.weights == "uniform":
+            return neighbor_y.mean(axis=1)
+        predictions = np.empty(idx.shape[0])
+        for i in range(idx.shape[0]):
+            d = dist[i]
+            exact = d == 0.0
+            if exact.any():
+                # Exact matches dominate (infinite weight).
+                predictions[i] = neighbor_y[i][exact].mean()
+            else:
+                w = 1.0 / d
+                predictions[i] = float((w * neighbor_y[i]).sum() / w.sum())
+        return predictions

@@ -1,0 +1,102 @@
+"""Transformer + estimator pipelines.
+
+Couples feature scaling to a final regressor so cross-validation fits the
+scaler on each fold's training data only (no test-set leakage), exactly as
+``sklearn.pipeline.Pipeline`` would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from .base import BaseEstimator, clone
+
+__all__ = ["Pipeline", "make_pipeline"]
+
+
+class Pipeline(BaseEstimator):
+    """Sequential ``(name, step)`` chain; all but the last must transform.
+
+    Nested parameters use the ``step__param`` convention, so pipelines work
+    inside the hyperparameter search.
+    """
+
+    def __init__(self, steps: List[Tuple[str, BaseEstimator]]) -> None:
+        self.steps = steps
+
+    def _validate(self) -> None:
+        if not self.steps:
+            raise ValueError("empty pipeline")
+        names = [name for name, _ in self.steps]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate step names")
+        for name, step in self.steps[:-1]:
+            if not hasattr(step, "transform"):
+                raise TypeError(f"step {name!r} is not a transformer")
+        if not hasattr(self.steps[-1][1], "predict"):
+            raise TypeError("final step must be a predictor")
+
+    # --------------------------------------------------------------- params
+
+    def get_params(self) -> Dict[str, Any]:
+        # Steps are cloned so that clone(pipeline) (which round-trips
+        # through get_params) never shares mutable estimators with the
+        # original — set_params on a clone must not touch the source.
+        params: Dict[str, Any] = {
+            "steps": [(name, clone(step)) for name, step in self.steps]
+        }
+        for name, step in self.steps:
+            for key, value in step.get_params().items():
+                params[f"{name}__{key}"] = value
+        return params
+
+    def set_params(self, **params: Any) -> "Pipeline":
+        step_map = dict(self.steps)
+        for key, value in params.items():
+            if key == "steps":
+                self.steps = value
+                continue
+            if "__" not in key:
+                raise ValueError(f"pipeline parameters use 'step__param', got {key!r}")
+            step_name, _, param = key.partition("__")
+            if step_name not in step_map:
+                raise ValueError(f"unknown pipeline step {step_name!r}")
+            step_map[step_name].set_params(**{param: value})
+        return self
+
+    # ------------------------------------------------------------ fit/pred
+
+    def fit(self, X, y) -> "Pipeline":
+        self._validate()
+        self.fitted_steps_ = [(name, clone(step)) for name, step in self.steps]
+        data = np.asarray(X, dtype=np.float64)
+        for name, step in self.fitted_steps_[:-1]:
+            data = step.fit_transform(data, y)
+        self.fitted_steps_[-1][1].fit(data, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("fitted_steps_")
+        data = np.asarray(X, dtype=np.float64)
+        for name, step in self.fitted_steps_[:-1]:
+            data = step.transform(data)
+        return self.fitted_steps_[-1][1].predict(data)
+
+    @property
+    def final_estimator_(self) -> BaseEstimator:
+        self._check_fitted("fitted_steps_")
+        return self.fitted_steps_[-1][1]
+
+
+def make_pipeline(*steps: BaseEstimator) -> Pipeline:
+    """Build a pipeline with auto-generated step names."""
+    named = [(type(step).__name__.lower(), step) for step in steps]
+    seen: Dict[str, int] = {}
+    unique: List[Tuple[str, BaseEstimator]] = []
+    for name, step in named:
+        count = seen.get(name, 0)
+        seen[name] = count + 1
+        unique.append((f"{name}{count}" if count else name, step))
+    return Pipeline(unique)

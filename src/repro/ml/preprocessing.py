@@ -1,0 +1,87 @@
+"""Feature scaling transformers.
+
+The feature set mixes counts (fan-out in the hundreds), ratios (@0/@1 in
+[0, 1]) and sentinels (-1), so distance- and kernel-based models (k-NN, SVR)
+need standardization; these transformers provide it with the familiar
+fit/transform protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardize features to zero mean and unit variance.
+
+    Constant columns are left centred but unscaled (divisor forced to 1) so
+    they cannot produce NaNs.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_X(X)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted("mean_")
+        X = check_X(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator):
+    """Scale features into ``feature_range`` (default [0, 1]).
+
+    Constant columns map to the lower bound.
+    """
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)) -> None:
+        self.feature_range = feature_range
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        X = check_X(X)
+        low, high = self.feature_range
+        if low >= high:
+            raise ValueError("feature_range must be increasing")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0.0] = 1.0
+        self.scale_ = (high - low) / span
+        self.min_ = low - self.data_min_ * self.scale_
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("scale_")
+        X = check_X(X)
+        return X * self.scale_ + self.min_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted("scale_")
+        X = check_X(X)
+        return (X - self.min_) / self.scale_

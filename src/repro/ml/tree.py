@@ -1,0 +1,180 @@
+"""CART regression trees.
+
+Listed by the paper as future work ("the focus for future work should lie on
+evaluating further non-linear models, such as Decision Tree Regressor…");
+implemented here both standalone and as the base learner of the ensemble
+models.  Splits greedily minimize the weighted variance (MSE) of the
+children, with the classic O(n log n) sorted-prefix scan per feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+class DecisionTreeRegressor(BaseEstimator):
+    """Variance-reduction CART regressor.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (``None`` = unlimited).
+    min_samples_split / min_samples_leaf:
+        Pre-pruning thresholds.
+    max_features:
+        Features considered per split: ``None`` (all), an int, or
+        ``"sqrt"`` — the random-forest subsampling hook.
+    random_state:
+        Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: object = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X, y = check_X_y(X, y)
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self._rng = np.random.default_rng(self.random_state)
+        self.n_features_ = X.shape[1]
+        self._importance = np.zeros(self.n_features_)
+        self.root_ = self._grow(X, y, depth=0)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance
+        )
+        return self
+
+    # ------------------------------------------------------------- growing
+
+    def _n_split_features(self) -> int:
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self.n_features_)))
+        return max(1, min(int(self.max_features), self.n_features_))
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node_value = float(y.mean())
+        n = y.shape[0]
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.ptp(y) == 0.0
+        ):
+            return _Node(value=node_value)
+        split = self._best_split(X, y)
+        if split is None:
+            return _Node(value=node_value)
+        feature, threshold, gain = split
+        mask = X[:, feature] <= threshold
+        self._importance[feature] += gain
+        left = self._grow(X[mask], y[mask], depth + 1)
+        right = self._grow(X[~mask], y[~mask], depth + 1)
+        return _Node(value=node_value, feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        n = y.shape[0]
+        min_leaf = self.min_samples_leaf
+        features = np.arange(self.n_features_)
+        k = self._n_split_features()
+        if k < self.n_features_:
+            features = self._rng.choice(features, size=k, replace=False)
+        best = None
+        parent_sse = float(((y - y.mean()) ** 2).sum())
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            csum = np.cumsum(ys)
+            csq = np.cumsum(ys**2)
+            total_sum, total_sq = csum[-1], csq[-1]
+            # candidate split after position i (1-indexed counts)
+            counts = np.arange(1, n)
+            valid = (counts >= min_leaf) & (n - counts >= min_leaf) & (xs[:-1] < xs[1:])
+            if not valid.any():
+                continue
+            left_sse = csq[:-1] - csum[:-1] ** 2 / counts
+            right_counts = n - counts
+            right_sum = total_sum - csum[:-1]
+            right_sse = (total_sq - csq[:-1]) - right_sum**2 / right_counts
+            sse = np.where(valid, left_sse + right_sse, np.inf)
+            idx = int(np.argmin(sse))
+            if not np.isfinite(sse[idx]):
+                continue
+            gain = parent_sse - float(sse[idx])
+            if best is None or gain > best[2]:
+                threshold = (xs[idx] + xs[idx + 1]) / 2.0
+                best = (int(feature), float(threshold), gain)
+        if best is None or best[2] <= 1e-12:
+            return None
+        return best
+
+    # ------------------------------------------------------------- predict
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("root_")
+        X = check_X(X)
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted("root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    def n_leaves(self) -> int:
+        self._check_fitted("root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root_)

@@ -1,0 +1,29 @@
+"""Gate-level netlist substrate: cell library, data model, Verilog I/O."""
+
+from .cells import (
+    DEFAULT_LIBRARY,
+    DRIVE_STRENGTHS,
+    CellKind,
+    CellLibrary,
+    CellType,
+    default_library,
+)
+from .core import Cell, Net, Netlist, NetlistError, NetlistStats, PinRef
+from .verilog import parse_verilog, write_verilog
+
+__all__ = [
+    "DEFAULT_LIBRARY",
+    "DRIVE_STRENGTHS",
+    "CellKind",
+    "CellLibrary",
+    "CellType",
+    "default_library",
+    "Cell",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "NetlistStats",
+    "PinRef",
+    "parse_verilog",
+    "write_verilog",
+]

@@ -1,0 +1,29 @@
+"""Simulation engines: compiled bit-parallel cycle sim and event-driven sim."""
+
+from .activity import ActivityTrace, NetActivity, collect_net_activity, write_vcd
+from .compiled import CompiledSimulator
+from .event import ClockGenerator, EventDrivenSimulator
+from .logic import ONE, X, ZERO, broadcast, eval3, extract_lane, lane_mask, popcount
+from .testbench import GoldenTrace, LoopbackPath, ScheduleBuilder, Testbench
+
+__all__ = [
+    "ActivityTrace",
+    "NetActivity",
+    "collect_net_activity",
+    "write_vcd",
+    "CompiledSimulator",
+    "ClockGenerator",
+    "EventDrivenSimulator",
+    "ONE",
+    "X",
+    "ZERO",
+    "broadcast",
+    "eval3",
+    "extract_lane",
+    "lane_mask",
+    "popcount",
+    "GoldenTrace",
+    "LoopbackPath",
+    "ScheduleBuilder",
+    "Testbench",
+]

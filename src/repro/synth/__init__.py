@@ -1,0 +1,25 @@
+"""RTL abstraction and synthesis (the in-repo Synopsys DC substitute)."""
+
+from . import wordlib
+from .expr import ONE, ZERO, And, Const, Expr, Mux, Not, Or, Sig, Xor
+from .module import Module, RegSpec
+from .synthesis import DriveRules, TechMapper, synthesize
+
+__all__ = [
+    "wordlib",
+    "ONE",
+    "ZERO",
+    "And",
+    "Const",
+    "Expr",
+    "Mux",
+    "Not",
+    "Or",
+    "Sig",
+    "Xor",
+    "Module",
+    "RegSpec",
+    "DriveRules",
+    "TechMapper",
+    "synthesize",
+]

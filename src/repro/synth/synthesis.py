@@ -1,0 +1,235 @@
+"""RTL elaboration and technology mapping.
+
+This is the reproduction's stand-in for Synopsys Design Compiler: it takes a
+:class:`~repro.synth.module.Module` and produces a flat, mapped
+:class:`~repro.netlist.core.Netlist` on the NanGate-like cell library —
+including the synthesis decisions the paper's feature set depends on
+(cell selection, logic decomposition, fanout-based drive-strength
+assignment).
+
+Mapping strategy
+----------------
+* expressions are decomposed into the library's 1-4 input gates with
+  balanced reduction trees;
+* inverted AND/OR/XOR roots fuse into NAND/NOR/XNOR cells;
+* structurally identical gates are shared (hash-consing at the gate level),
+  which mimics common-subexpression extraction in a real synthesis tool;
+* constants become shared TIE cells — the paper's "connections to constant
+  drivers" feature counts exactly these;
+* each register bit becomes a ``DFFR`` (synchronous active-low reset) or
+  ``DFF`` cell; each primary output gets an output buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.cells import CellLibrary
+from ..netlist.core import Netlist, NetlistError
+from .expr import And, Const, Expr, Mux, Not, Or, Sig, Xor
+from .module import Module
+
+__all__ = ["synthesize", "TechMapper", "DriveRules"]
+
+
+class DriveRules:
+    """Fanout-threshold table for drive-strength assignment.
+
+    Mirrors the sizing pass of a synthesis flow: cells driving larger
+    fanouts get stronger variants (X2/X4).
+    """
+
+    def __init__(self, x2_fanout: int = 3, x4_fanout: int = 7) -> None:
+        self.x2_fanout = x2_fanout
+        self.x4_fanout = x4_fanout
+
+    def drive_for(self, fanout: int) -> int:
+        if fanout >= self.x4_fanout:
+            return 4
+        if fanout >= self.x2_fanout:
+            return 2
+        return 1
+
+
+class TechMapper:
+    """Maps boolean expressions onto library gates inside a netlist."""
+
+    def __init__(self, netlist: Netlist, module: Module) -> None:
+        self.netlist = netlist
+        self.module = module
+        self._gate_memo: Dict[Tuple, str] = {}
+        self._wire_memo: Dict[str, str] = {}
+        self._wire_in_progress: set[str] = set()
+        self._const_nets: Dict[int, str] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def _fresh_net(self) -> str:
+        self._counter += 1
+        return f"n{self._counter}"
+
+    def _fresh_cell(self, kind: str) -> str:
+        self._counter += 1
+        return f"U{self._counter}_{kind}"
+
+    def new_gate(self, type_name: str, input_nets: Sequence[str]) -> str:
+        """Instantiate (or reuse) a gate; returns its output net."""
+        if type_name in ("MUX2",):
+            key: Tuple = (type_name, tuple(input_nets))
+        else:
+            key = (type_name, tuple(sorted(input_nets)))
+        cached = self._gate_memo.get(key)
+        if cached is not None:
+            return cached
+        out_net = self._fresh_net()
+        ctype = self.netlist.library[type_name]
+        connections = {pin: net for pin, net in zip(ctype.inputs, input_nets)}
+        connections[ctype.output] = out_net
+        self.netlist.add_cell(self._fresh_cell(type_name), type_name, connections)
+        self._gate_memo[key] = out_net
+        return out_net
+
+    def const_net(self, value: int) -> str:
+        """Net driven by the shared TIE0/TIE1 cell."""
+        net = self._const_nets.get(value)
+        if net is None:
+            net = f"const{value}"
+            self.netlist.add_cell(f"tie{value}", "TIE1" if value else "TIE0", {"Z": net})
+            self._const_nets[value] = net
+        return net
+
+    # -------------------------------------------------------------- mapping
+
+    def map_expr(self, expr: Expr) -> str:
+        """Map *expr* to gates; returns the driving net name."""
+        if isinstance(expr, Const):
+            return self.const_net(expr.value)
+        if isinstance(expr, Sig):
+            return self._resolve_sig(expr.name)
+        if isinstance(expr, Not):
+            return self._map_inverted(expr.operand)
+        if isinstance(expr, And):
+            return self._reduce_tree("AND", [self.map_expr(a) for a in expr.args])
+        if isinstance(expr, Or):
+            return self._reduce_tree("OR", [self.map_expr(a) for a in expr.args])
+        if isinstance(expr, Xor):
+            return self._reduce_tree("XOR", [self.map_expr(a) for a in expr.args])
+        if isinstance(expr, Mux):
+            sel = self.map_expr(expr.sel)
+            one = self.map_expr(expr.if_one)
+            zero = self.map_expr(expr.if_zero)
+            return self.new_gate("MUX2", (zero, one, sel))
+        raise NetlistError(f"unmappable expression {expr!r}")
+
+    def _resolve_sig(self, name: str) -> str:
+        if name in self.netlist.nets and name not in self.module.wires:
+            return name
+        if name in self.module.wires:
+            cached = self._wire_memo.get(name)
+            if cached is not None:
+                return cached
+            if name in self._wire_in_progress:
+                raise NetlistError(f"combinational loop through wire {name!r}")
+            self._wire_in_progress.add(name)
+            net = self.map_expr(self.module.wires[name])
+            self._wire_in_progress.discard(name)
+            self._wire_memo[name] = net
+            return net
+        raise NetlistError(f"unknown signal {name!r} in module {self.module.name!r}")
+
+    def _map_inverted(self, inner: Expr) -> str:
+        """Map ``~inner``, fusing into NAND/NOR/XNOR where the library allows."""
+        if isinstance(inner, And) and len(inner.args) <= 4:
+            nets = [self.map_expr(a) for a in inner.args]
+            return self.new_gate(f"NAND{len(nets)}", nets)
+        if isinstance(inner, Or) and len(inner.args) <= 4:
+            nets = [self.map_expr(a) for a in inner.args]
+            return self.new_gate(f"NOR{len(nets)}", nets)
+        if isinstance(inner, Xor) and len(inner.args) == 2:
+            nets = [self.map_expr(a) for a in inner.args]
+            return self.new_gate("XNOR2", nets)
+        return self.new_gate("INV", (self.map_expr(inner),))
+
+    def _reduce_tree(self, kind: str, nets: List[str]) -> str:
+        """Balanced reduction of *nets* with up-to-4-input (XOR: 2) gates."""
+        arity = 2 if kind == "XOR" else 4
+        while len(nets) > 1:
+            level: List[str] = []
+            for start in range(0, len(nets), arity):
+                chunk = nets[start : start + arity]
+                if len(chunk) == 1:
+                    level.append(chunk[0])
+                else:
+                    level.append(self.new_gate(f"{kind}{len(chunk)}", chunk))
+            nets = level
+        return nets[0]
+
+
+def synthesize(
+    module: Module,
+    library: CellLibrary | None = None,
+    drive_rules: Optional[DriveRules] = None,
+) -> Netlist:
+    """Elaborate *module* into a validated, mapped gate-level netlist.
+
+    The pass order mirrors a synthesis flow: port creation, register
+    placement, combinational mapping (with sharing), output buffering, then
+    drive-strength assignment.
+    """
+    module.finalize()
+    netlist = Netlist(module.name, library=library)
+    netlist.add_input(module.clock_name, is_clock=True)
+    if module.uses_reset:
+        netlist.add_input(module.reset_name)
+    for name in module.input_bits:
+        netlist.add_input(name)
+
+    # Pre-create register Q nets so next-state expressions can reference
+    # them before the flip-flop cells exist.
+    for spec in module.regs.values():
+        netlist.add_net(spec.name)
+
+    mapper = TechMapper(netlist, module)
+
+    # Map every next-state cone, then place the flip-flops with their D pins
+    # wired straight to the mapped nets (no per-register buffer, as in a
+    # real mapped netlist).
+    d_nets: Dict[str, str] = {}
+    for spec in module.regs.values():
+        d_nets[spec.name] = mapper.map_expr(spec.next_expr)  # type: ignore[arg-type]
+    for spec in module.regs.values():
+        if spec.resettable:
+            connections = {
+                "D": d_nets[spec.name],
+                "RN": module.reset_name,
+                "CK": module.clock_name,
+                "Q": spec.name,
+            }
+            netlist.add_cell(f"ff_{spec.name}", "DFFR", connections)
+        else:
+            connections = {
+                "D": d_nets[spec.name],
+                "CK": module.clock_name,
+                "Q": spec.name,
+            }
+            netlist.add_cell(f"ff_{spec.name}", "DFF", connections)
+
+    for name in module.output_order:
+        mapped = mapper.map_expr(module.output_exprs[name])
+        netlist.add_cell(f"obuf_{name}", "BUF", {"A": mapped, "Z": name})
+        netlist.add_output(name)
+
+    _assign_drive_strengths(netlist, drive_rules or DriveRules())
+    netlist.validate()
+    return netlist
+
+
+def _assign_drive_strengths(netlist: Netlist, rules: DriveRules) -> None:
+    """Size every cell from the fanout of its output net."""
+    for cell in netlist.iter_cells():
+        try:
+            out_net = cell.output_net()
+        except NetlistError:
+            continue
+        cell.drive = rules.drive_for(netlist.nets[out_net].fanout())

@@ -1,0 +1,164 @@
+"""Word-level operator library over expression vectors.
+
+A *word* is a list of :class:`~repro.synth.expr.Expr`, LSB first.  These
+helpers provide the datapath operators (adders, comparators, muxes, decoders)
+needed to describe the 10GE-MAC-like circuit and the other benchmark designs
+at register-transfer level before tech-mapping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .expr import And, Const, Expr, Mux, Not, Or, Xor, ZERO
+
+__all__ = [
+    "Word",
+    "const_word",
+    "resize",
+    "mux_word",
+    "and_word",
+    "or_word",
+    "xor_word",
+    "not_word",
+    "reduce_or",
+    "reduce_and",
+    "add",
+    "inc",
+    "sub",
+    "eq",
+    "eq_const",
+    "ne",
+    "lt",
+    "decode",
+    "onehot_mux",
+]
+
+Word = List[Expr]
+
+
+def const_word(value: int, width: int) -> Word:
+    """Constant word of *width* bits (LSB first)."""
+    return [Const((value >> i) & 1) for i in range(width)]
+
+
+def resize(word: Sequence[Expr], width: int) -> Word:
+    """Zero-extend or truncate *word* to *width* bits."""
+    word = list(word)
+    if len(word) >= width:
+        return word[:width]
+    return word + [ZERO] * (width - len(word))
+
+
+def mux_word(sel: Expr, if_one: Sequence[Expr], if_zero: Sequence[Expr]) -> Word:
+    """Bitwise 2:1 word multiplexer."""
+    if len(if_one) != len(if_zero):
+        raise ValueError("mux_word operand width mismatch")
+    return [Mux.of(sel, a, b) for a, b in zip(if_one, if_zero)]
+
+
+def and_word(a: Sequence[Expr], b: Sequence[Expr]) -> Word:
+    return [And.of(x, y) for x, y in zip(a, b)]
+
+
+def or_word(a: Sequence[Expr], b: Sequence[Expr]) -> Word:
+    return [Or.of(x, y) for x, y in zip(a, b)]
+
+
+def xor_word(a: Sequence[Expr], b: Sequence[Expr]) -> Word:
+    return [Xor.of(x, y) for x, y in zip(a, b)]
+
+
+def not_word(a: Sequence[Expr]) -> Word:
+    return [Not.of(x) for x in a]
+
+
+def reduce_or(bits: Sequence[Expr]) -> Expr:
+    """OR-reduce a word to a single bit."""
+    return Or.of(*bits) if bits else ZERO
+
+
+def reduce_and(bits: Sequence[Expr]) -> Expr:
+    """AND-reduce a word to a single bit."""
+    return And.of(*bits) if bits else Const(1)
+
+
+def add(a: Sequence[Expr], b: Sequence[Expr], cin: Expr = ZERO) -> Tuple[Word, Expr]:
+    """Ripple-carry addition; returns (sum_word, carry_out)."""
+    if len(a) != len(b):
+        raise ValueError("add operand width mismatch")
+    carry = cin
+    result: Word = []
+    for x, y in zip(a, b):
+        result.append(Xor.of(x, y, carry))
+        carry = Or.of(And.of(x, y), And.of(carry, Xor.of(x, y)))
+    return result, carry
+
+
+def inc(a: Sequence[Expr], enable: Expr = Const(1)) -> Word:
+    """Increment a word by 1 when *enable* (wraps around)."""
+    carry: Expr = enable
+    result: Word = []
+    for x in a:
+        result.append(Xor.of(x, carry))
+        carry = And.of(x, carry)
+    return result
+
+
+def sub(a: Sequence[Expr], b: Sequence[Expr]) -> Tuple[Word, Expr]:
+    """Two's-complement subtraction; returns (difference, borrow-free flag)."""
+    diff, carry = add(a, not_word(b), cin=Const(1))
+    return diff, carry
+
+
+def eq(a: Sequence[Expr], b: Sequence[Expr]) -> Expr:
+    """Word equality."""
+    if len(a) != len(b):
+        raise ValueError("eq operand width mismatch")
+    return reduce_and([Not.of(Xor.of(x, y)) for x, y in zip(a, b)])
+
+
+def eq_const(a: Sequence[Expr], value: int) -> Expr:
+    """Word equality against an integer constant."""
+    terms = []
+    for i, x in enumerate(a):
+        terms.append(x if (value >> i) & 1 else Not.of(x))
+    return reduce_and(terms)
+
+
+def ne(a: Sequence[Expr], b: Sequence[Expr]) -> Expr:
+    return Not.of(eq(a, b))
+
+
+def lt(a: Sequence[Expr], b: Sequence[Expr]) -> Expr:
+    """Unsigned less-than ``a < b`` via the subtractor's borrow."""
+    _, no_borrow = sub(list(a), list(b))
+    return Not.of(no_borrow)
+
+
+def decode(sel: Sequence[Expr]) -> List[Expr]:
+    """Full decoder: 2**len(sel) one-hot outputs (*sel* is LSB first).
+
+    Output *i* is high exactly when the select word equals *i*: iteration
+    *k* consumes select bit *k* (weight ``2**k``), doubling the minterm list
+    with the bit negated in the lower half and asserted in the upper half.
+    """
+    outputs: List[Expr] = [Const(1)]
+    for bit in sel:
+        inv = Not.of(bit)
+        lower = [And.of(term, inv) for term in outputs]
+        upper = [And.of(term, bit) for term in outputs]
+        outputs = lower + upper
+    return outputs
+
+
+def onehot_mux(selects: Sequence[Expr], words: Sequence[Sequence[Expr]]) -> Word:
+    """Word mux with one-hot select lines (OR of AND-gated words)."""
+    if len(selects) != len(words):
+        raise ValueError("onehot_mux select/word count mismatch")
+    width = len(words[0])
+    result: Word = []
+    for bit in range(width):
+        terms = [And.of(sel, word[bit]) for sel, word in zip(selects, words)]
+        result.append(Or.of(*terms))
+    return result

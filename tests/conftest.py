@@ -1,0 +1,85 @@
+"""Shared fixtures.
+
+Heavier artifacts (synthesized MAC, golden trace, campaign, labelled
+dataset) are session-scoped: they are deterministic, read-only in tests,
+and account for almost all fixture cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_xgmac_workload, make_xgmac
+from repro.data import DATASET_PRESETS, get_dataset
+from repro.faultinjection import PacketInterfaceCriterion, StatisticalFaultCampaign
+from repro.features import build_dataset
+from repro.synth import Module, synthesize, wordlib
+
+
+@pytest.fixture(scope="session")
+def counter_netlist():
+    """4-bit enable-gated counter (the smallest realistic sequential DUT)."""
+    module = Module("counter4")
+    enable = module.input("en")
+    count = module.reg_bus("cnt", 4)
+    module.next_en(count, enable, wordlib.inc(count))
+    module.output_bus("count", count)
+    return synthesize(module)
+
+
+@pytest.fixture(scope="session")
+def tiny_mac():
+    """The tiny MAC preset netlist."""
+    return make_xgmac("xgmac_tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_mac):
+    """Frame workload sized for the tiny MAC (short frames, small FIFOs)."""
+    return build_xgmac_workload(
+        tiny_mac, n_frames=4, min_len=2, max_len=3, gap=12, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_golden(tiny_workload):
+    return tiny_workload.testbench.run_golden()
+
+
+@pytest.fixture(scope="session")
+def tiny_campaign(tiny_mac, tiny_workload, tiny_golden):
+    """A reduced flat campaign on the tiny MAC (session-cached)."""
+    criterion = PacketInterfaceCriterion(
+        tiny_workload.valid_nets, tiny_workload.data_nets
+    )
+    runner = StatisticalFaultCampaign(
+        tiny_mac,
+        tiny_workload.testbench,
+        criterion,
+        active_window=tiny_workload.active_window,
+        golden=tiny_golden,
+    )
+    return runner, runner.run(n_injections=16, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_mac, tiny_golden, tiny_campaign):
+    _runner, campaign = tiny_campaign
+    return build_dataset(tiny_mac, tiny_golden, campaign)
+
+
+@pytest.fixture(scope="session")
+def cached_tiny_dataset(tmp_path_factory):
+    """Preset 'tiny' dataset through the repro.data cache layer."""
+    cache = tmp_path_factory.mktemp("repro_cache")
+    return get_dataset("tiny", cache_dir=cache)
+
+
+@pytest.fixture(scope="session")
+def regression_data():
+    """Smooth synthetic regression problem for the ML layer."""
+    rng = np.random.default_rng(42)
+    X = rng.uniform(-2.0, 2.0, size=(240, 4))
+    y = np.sin(X[:, 0]) + 0.5 * X[:, 1] ** 2 - 0.3 * X[:, 2] + 0.05 * rng.standard_normal(240)
+    return X, y

@@ -1,0 +1,60 @@
+"""Dataset generation and caching tests."""
+
+import pytest
+
+from repro.data import DATASET_PRESETS, DatasetSpec, build_workload, get_dataset
+
+
+def test_presets_defined():
+    assert set(DATASET_PRESETS) == {"tiny", "mini", "full"}
+    assert DATASET_PRESETS["full"].n_injections == 170
+    assert DATASET_PRESETS["full"].circuit == "xgmac"
+
+
+def test_cache_key_stability():
+    a = DatasetSpec(circuit="xgmac_tiny", n_injections=8)
+    b = DatasetSpec(circuit="xgmac_tiny", n_injections=8)
+    c = DatasetSpec(circuit="xgmac_tiny", n_injections=9)
+    assert a.cache_key() == b.cache_key()
+    assert a.cache_key() != c.cache_key()
+
+
+def test_build_workload():
+    netlist, workload = build_workload(DATASET_PRESETS["tiny"])
+    assert netlist.name == "xgmac_tiny"
+    assert workload.testbench.n_cycles > 0
+    assert workload.valid_nets == ["pkt_rx_val"]
+
+
+def test_get_dataset_generates_and_caches(tmp_path):
+    spec = DatasetSpec(
+        circuit="xgmac_tiny", n_frames=3, min_len=2, max_len=3, gap=12, n_injections=6
+    )
+    first = get_dataset(spec=spec, cache_dir=tmp_path)
+    cache_files = list(tmp_path.glob("dataset_*.json"))
+    assert len(cache_files) == 1
+    second = get_dataset(spec=spec, cache_dir=tmp_path)
+    assert second.ff_names == first.ff_names
+    assert (second.X == first.X).all()
+    assert (second.y == first.y).all()
+
+
+def test_get_dataset_regenerate(tmp_path):
+    spec = DatasetSpec(
+        circuit="xgmac_tiny", n_frames=3, min_len=2, max_len=3, gap=12, n_injections=6
+    )
+    first = get_dataset(spec=spec, cache_dir=tmp_path)
+    second = get_dataset(spec=spec, cache_dir=tmp_path, regenerate=True)
+    assert (second.y == first.y).all()  # deterministic regeneration
+
+
+def test_get_dataset_unknown_preset(tmp_path):
+    with pytest.raises(KeyError):
+        get_dataset("huge", cache_dir=tmp_path)
+
+
+def test_cached_tiny_dataset_labels(cached_tiny_dataset):
+    ds = cached_tiny_dataset
+    assert ds.meta["n_injections"] == DATASET_PRESETS["tiny"].n_injections
+    assert 0.0 < float(ds.y.mean()) < 0.5
+    assert ds.n_samples > 200

@@ -1,0 +1,147 @@
+"""Event-driven simulator tests: X-propagation, clocking, cross-check."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import DEFAULT_LIBRARY, Netlist
+from repro.sim import (
+    ClockGenerator,
+    CompiledSimulator,
+    EventDrivenSimulator,
+    ONE,
+    X,
+    ZERO,
+    eval3,
+)
+
+
+def test_eval3_exact_x_propagation():
+    and2 = DEFAULT_LIBRARY["AND2"]
+    assert eval3(and2, [ZERO, X]) == ZERO  # controlling value masks X
+    assert eval3(and2, [ONE, X]) == X
+    or2 = DEFAULT_LIBRARY["OR2"]
+    assert eval3(or2, [ONE, X]) == ONE
+    assert eval3(or2, [ZERO, X]) == X
+    xor2 = DEFAULT_LIBRARY["XOR2"]
+    assert eval3(xor2, [ZERO, X]) == X
+    mux2 = DEFAULT_LIBRARY["MUX2"]
+    # Same data on both legs masks an unknown select.
+    assert eval3(mux2, [ONE, ONE, X]) == ONE
+    assert eval3(mux2, [ZERO, ONE, X]) == X
+
+
+def test_eval3_matches_binary_when_known():
+    for name in ("AND2", "NAND3", "OR4", "XNOR2", "AOI21", "OAI22", "MUX2"):
+        ctype = DEFAULT_LIBRARY[name]
+        for bits in itertools.product((0, 1), repeat=len(ctype.inputs)):
+            assert eval3(ctype, list(bits)) == ctype.evaluate(list(bits), mask=1)
+
+
+def test_eval3_rejects_bad_values():
+    with pytest.raises(ValueError):
+        eval3(DEFAULT_LIBRARY["INV"], [7])
+
+
+def build_dff_chain():
+    nl = Netlist("chain")
+    nl.add_input("clk", is_clock=True)
+    nl.add_input("d")
+    nl.add_cell("ff0", "DFF", {"D": "d", "CK": "clk", "Q": "q0"})
+    nl.add_cell("ff1", "DFF", {"D": "q0", "CK": "clk", "Q": "q1"})
+    nl.add_output("q1")
+    return nl
+
+
+def test_unknown_state_before_first_clock():
+    nl = build_dff_chain()
+    sim = EventDrivenSimulator(nl)
+    assert sim.get("q1") == X
+
+
+def test_values_propagate_through_chain():
+    nl = build_dff_chain()
+    sim = EventDrivenSimulator(nl)
+    clock = ClockGenerator("clk", period=10)
+    samples = []
+
+    def stimulus(cycle, s):
+        return {"d": ONE if cycle >= 1 else ZERO}
+
+    def sample(cycle, s):
+        samples.append(s.get("q1"))
+
+    sim.run_clocked(clock, 6, stimulus=stimulus, sample=sample)
+    # q1 is X until two edges have passed, then follows d two cycles late.
+    assert samples[0] == X
+    assert samples[-1] == ONE
+
+
+def test_event_sim_matches_compiled_on_counter(counter_netlist):
+    """Cross-check: both engines agree cycle by cycle after reset."""
+    event_sim = EventDrivenSimulator(counter_netlist)
+    clock = ClockGenerator("clk", period=10)
+    event_values = []
+
+    def stimulus(cycle, s):
+        if cycle == 0:
+            return {"rst_n": ZERO, "en": ZERO}
+        if cycle == 2:
+            return {"rst_n": ONE, "en": ONE}
+        return {}
+
+    def sample(cycle, s):
+        event_values.append(s.get_word("count", 4))
+
+    event_sim.run_clocked(clock, 12, stimulus=stimulus, sample=sample)
+
+    compiled = CompiledSimulator(counter_netlist)
+    compiled.reset()
+    compiled_values = []
+    for cycle in range(12):
+        compiled.set_input("rst_n", 0 if cycle < 3 else 1)
+        compiled.set_input("en", 0 if cycle < 3 else 1)
+        compiled.eval_comb()
+        compiled_values.append(compiled.get_word("count", 4))
+        compiled.tick()
+    # After the reset phase (where the event sim still holds X), they agree.
+    for ev, cv in zip(event_values[4:], compiled_values[4:]):
+        assert ev == cv
+
+
+def test_probe_callbacks_fire():
+    nl = build_dff_chain()
+    sim = EventDrivenSimulator(nl)
+    changes = []
+    sim.add_probe("q0", lambda t, net, v: changes.append((t, v)))
+    sim.set_input("d", ONE)
+    clock = ClockGenerator("clk", period=10)
+    sim.run_clocked(clock, 3)
+    assert changes, "probe should observe at least the X->1 transition"
+    assert changes[-1][1] == ONE
+
+
+def test_scheduling_in_past_rejected():
+    nl = build_dff_chain()
+    sim = EventDrivenSimulator(nl)
+    sim.schedule(50, "d", ONE)
+    sim.run_until(60)
+    with pytest.raises(ValueError):
+        sim.schedule(10, "d", ZERO)
+
+
+def test_set_input_requires_primary_input():
+    nl = build_dff_chain()
+    sim = EventDrivenSimulator(nl)
+    with pytest.raises(ValueError):
+        sim.set_input("q0", ONE)
+
+
+def test_clock_generator_edges():
+    clock = ClockGenerator("clk", period=10, start=5)
+    edges = clock.edges_until(35)
+    assert edges[0] == (5, ONE)
+    assert edges[1] == (10, ZERO)
+    assert all(b - a == 5 for (a, _), (b, _) in zip(edges, edges[1:]))

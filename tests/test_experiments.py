@@ -1,0 +1,119 @@
+"""Experiment-runner tests (reduced protocol on the tiny dataset)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FIGURE_MODELS,
+    PAPER_TABLE1,
+    future_work_models,
+    paper_models,
+    run_ablation,
+    run_figure,
+    run_future_work,
+    run_table1,
+    run_tuning,
+)
+from repro.experiments.__main__ import main as cli_main
+
+
+def test_paper_models_have_paper_hyperparameters():
+    models = paper_models()
+    assert set(models) == set(PAPER_TABLE1)
+    knn = models["k-NN"].steps[1][1]
+    assert knn.n_neighbors == 3 and knn.metric == "manhattan"
+    svr = models["SVR w/ RBF Kernel"].steps[1][1]
+    assert (svr.C, svr.gamma, svr.epsilon) == (3.5, 0.055, 0.025)
+
+
+def test_future_work_models_cover_paper_list():
+    models = future_work_models()
+    assert {"Decision Tree", "Random Forest", "Gradient Boosting", "MLP"} == set(models)
+
+
+def test_table1_reduced(tiny_dataset):
+    result = run_table1(tiny_dataset, cv_folds=4, seed=0)
+    assert set(result.rows) == set(PAPER_TABLE1)
+    for metrics in result.rows.values():
+        assert set(metrics) == {"mae", "max", "rmse", "ev", "r2"}
+        assert metrics["mae"] <= metrics["rmse"] <= metrics["max"] + 1e-9
+    # The paper's qualitative result on our substrate.
+    assert result.shape_holds()
+    text = result.as_text()
+    assert "measured" in text and "paper reference" in text
+
+
+def test_figures_reduced(tiny_dataset):
+    for figure in FIGURE_MODELS:
+        result = run_figure(
+            tiny_dataset,
+            figure,
+            cv_folds=4,
+            curve_sizes=[0.2, 0.5],
+            seed=0,
+        )
+        assert result.test_true.shape == result.test_pred.shape
+        assert result.curve is not None
+        assert len(result.curve.mean_test()) == 2
+        assert "learning curve" in result.as_text()
+        csv_a = result.prediction_csv()
+        assert csv_a.startswith("train_true,train_pred,test_true,test_pred")
+        csv_b = result.curve_csv()
+        assert "train_size" in csv_b
+
+
+def test_figure_errors_are_pred_minus_true(tiny_dataset):
+    result = run_figure(tiny_dataset, "fig3", cv_folds=4, with_curve=False, seed=0)
+    assert np.allclose(result.test_error, result.test_pred - result.test_true)
+
+
+def test_unknown_figure_rejected(tiny_dataset):
+    with pytest.raises(KeyError):
+        run_figure(tiny_dataset, "fig9")
+
+
+def test_future_work_reduced(tiny_dataset):
+    result = run_future_work(tiny_dataset, cv_folds=3, seed=0)
+    assert "Decision Tree" in result.rows
+    assert result.best_model() in result.rows
+    assert "Future-work" in result.as_text()
+
+
+def test_ablation_reduced(tiny_dataset):
+    result = run_ablation(tiny_dataset, model_names=["k-NN"], cv_folds=3, seed=0)
+    assert "all" in result.rows
+    assert "only structural" in result.rows
+    assert "without dynamic" in result.rows
+    # The full feature set should not be dramatically worse than any single
+    # group for k-NN.
+    best_single = max(
+        result.rows[f"only {g}"]["k-NN"] for g in ("structural", "synthesis", "dynamic")
+    )
+    assert result.rows["all"]["k-NN"] > best_single - 0.3
+    assert "ablation" in result.as_text().lower()
+
+
+def test_ablation_requires_groups(tiny_dataset):
+    stripped = tiny_dataset.select_features(tiny_dataset.feature_names[:3])
+    stripped.groups = {}
+    with pytest.raises(ValueError):
+        run_ablation(stripped)
+
+
+def test_tuning_reduced(tiny_dataset):
+    result = run_tuning(tiny_dataset, n_random=2, cv_folds=3, seed=0)
+    assert "k-NN" in result.best_params
+    assert "SVR w/ RBF Kernel" in result.best_params
+    assert result.best_scores["k-NN"] > 0
+    assert "Hyperparameter" in result.as_text()
+
+
+def test_cli_runs_tiny(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    out = tmp_path / "results"
+    code = cli_main(["table1", "--scale", "tiny", "--out", str(out), "--seed", "0"])
+    assert code == 0
+    payload = json.loads((out / "table1.json").read_text())
+    assert "k-NN" in payload

@@ -1,0 +1,83 @@
+"""Expression AST construction and folding tests."""
+
+import pytest
+
+from repro.synth.expr import And, Const, Mux, Not, ONE, Or, Sig, Xor, ZERO
+
+
+def test_const_validation():
+    with pytest.raises(ValueError):
+        Const(2)
+
+
+def test_not_folding():
+    a = Sig("a")
+    assert Not.of(ZERO) is ONE
+    assert Not.of(ONE) is ZERO
+    assert Not.of(Not.of(a)) is a
+
+
+def test_and_folding():
+    a, b = Sig("a"), Sig("b")
+    assert isinstance(And.of(a, b), And)
+    assert And.of(a, ZERO) is ZERO
+    assert And.of(a, ONE) is a
+    assert And.of(ONE, ONE) is ONE
+    flat = And.of(And.of(a, b), Sig("c"))
+    assert len(flat.args) == 3
+
+
+def test_or_folding():
+    a, b = Sig("a"), Sig("b")
+    assert Or.of(a, ONE) is ONE
+    assert Or.of(a, ZERO) is a
+    assert Or.of(ZERO, ZERO) is ZERO
+    flat = Or.of(a, Or.of(b, Sig("c")))
+    assert len(flat.args) == 3
+
+
+def test_xor_folding():
+    a, b = Sig("a"), Sig("b")
+    assert Xor.of(a, ZERO) is a
+    inverted = Xor.of(a, ONE)
+    assert isinstance(inverted, Not) and inverted.operand is a
+    # Two constants fold completely.
+    assert Xor.of(ONE, ONE) is ZERO
+    assert isinstance(Xor.of(a, b), Xor)
+
+
+def test_mux_folding():
+    a, b, s = Sig("a"), Sig("b"), Sig("s")
+    assert Mux.of(ONE, a, b) is a
+    assert Mux.of(ZERO, a, b) is b
+    assert Mux.of(s, a, a) is a
+    assert Mux.of(s, ONE, ZERO) is s
+    inv = Mux.of(s, ZERO, ONE)
+    assert isinstance(inv, Not) and inv.operand is s
+    # One constant arm becomes and/or.
+    assert isinstance(Mux.of(s, ONE, b), Or)
+    assert isinstance(Mux.of(s, ZERO, b), And)
+    assert isinstance(Mux.of(s, a, ZERO), And)
+    assert isinstance(Mux.of(s, a, ONE), Or)
+    assert isinstance(Mux.of(s, a, b), Mux)
+
+
+def test_operator_overloads():
+    a, b = Sig("a"), Sig("b")
+    assert isinstance(a & b, And)
+    assert isinstance(a | b, Or)
+    assert isinstance(a ^ b, Xor)
+    assert isinstance(~a, Not)
+
+
+def test_signals_collection():
+    a, b, c = Sig("a"), Sig("b"), Sig("c")
+    expr = Mux.of(a, b & c, ~b)
+    assert expr.signals() == {"a", "b", "c"}
+
+
+def test_depth():
+    a, b = Sig("a"), Sig("b")
+    assert a.depth() == 0
+    assert (a & b).depth() == 1
+    assert ((a & b) | a).depth() == 2

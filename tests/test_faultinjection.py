@@ -1,0 +1,262 @@
+"""Fault-injection tests: criteria, injector semantics, campaigns, FDR stats."""
+
+import json
+import math
+
+import pytest
+
+from repro.faultinjection import (
+    AnyOutputCriterion,
+    CampaignResult,
+    FdrEstimate,
+    FlipFlopResult,
+    PacketInterfaceCriterion,
+    SeuFault,
+    StatisticalFaultCampaign,
+    relevant_flip_flops,
+    required_sample_size,
+    wilson_interval,
+)
+from repro.faultinjection.injector import FaultInjector
+from repro.sim import ScheduleBuilder, Testbench
+from repro.synth import Module, Sig, synthesize, wordlib
+
+
+# ------------------------------------------------------------- fdr stats
+
+
+def test_fdr_estimate_basics():
+    est = FdrEstimate(n_injections=170, n_failures=85)
+    assert est.fdr == 0.5
+    low, high = est.interval
+    assert low < 0.5 < high
+    assert est.margin < 0.08
+    assert FdrEstimate(0, 0).fdr == 0.0
+
+
+def test_wilson_interval_properties():
+    low, high = wilson_interval(0, 100)
+    assert low == pytest.approx(0.0, abs=1e-12) and high < 0.05
+    low, high = wilson_interval(100, 100)
+    assert high == pytest.approx(1.0, abs=1e-12) and low > 0.95
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+    with pytest.raises(ValueError):
+        wilson_interval(1, 10, confidence=1.5)
+
+
+def test_required_sample_size_matches_paper():
+    """~170 injections at 95 % confidence and 7.5 % margin (paper's count)."""
+    n = required_sample_size(None, margin=0.075, confidence=0.95)
+    assert 165 <= n <= 175
+    # Finite universe shrinks the requirement.
+    assert required_sample_size(1000, margin=0.075) < n
+    with pytest.raises(ValueError):
+        required_sample_size(None, margin=0.0)
+    with pytest.raises(ValueError):
+        required_sample_size(0)
+
+
+def test_seu_fault_repr():
+    fault = SeuFault("ff_x", 42)
+    assert "ff_x" in str(fault)
+
+
+# -------------------------------------------------- relevant flip-flops
+
+
+def test_relevant_flip_flops_excludes_dead_logic():
+    m = Module("partial")
+    en = m.input("en")
+    visible = m.reg_bus("vis", 4)
+    hidden = m.reg_bus("hid", 4)
+    m.next_en(visible, en, wordlib.inc(visible))
+    m.next_en(hidden, en, wordlib.inc(hidden))
+    m.output_bus("out", visible)
+    m.output_bus("dbg", hidden)
+    nl = synthesize(m)
+    relevant = relevant_flip_flops(nl, [f"out[{i}]" for i in range(4)])
+    assert relevant == {f"ff_vis[{i}]" for i in range(4)}
+
+
+def test_relevant_flip_flops_follow_sequential_paths(tiny_mac, tiny_workload):
+    observable = tiny_workload.valid_nets + tiny_workload.data_nets
+    relevant = relevant_flip_flops(tiny_mac, observable)
+    # FIFO memory feeds the packet interface through the read mux.
+    assert any(name.startswith("ff_rxf_mem") for name in relevant)
+    # TX-side state reaches RX outputs only through the loopback, which is
+    # external to the netlist — so TX FSM state is NOT relevant here.
+    assert "ff_tx_state[0]" not in relevant
+    # Statistics counters can never affect the packet interface.
+    assert not any(name.startswith("ff_stat_") for name in relevant)
+
+
+# --------------------------------------------------------- injector
+
+
+@pytest.fixture(scope="module")
+def counter_campaign_parts(counter_netlist):
+    sb = ScheduleBuilder(counter_netlist.inputs)
+    sb.drive(0, "rst_n", 0)
+    sb.drive(2, "rst_n", 1)
+    sb.drive(2, "en", 1)
+    tb = Testbench(counter_netlist, sb.compile(40))
+    golden = tb.run_golden()
+    criterion = AnyOutputCriterion.all_outputs(counter_netlist)
+    return tb, golden, criterion
+
+
+def test_injection_in_counter_always_fails(counter_netlist, counter_campaign_parts):
+    """A flipped counter bit immediately corrupts the observed count."""
+    tb, golden, criterion = counter_campaign_parts
+    injector = FaultInjector(counter_netlist, tb, golden, criterion)
+    outcome = injector.run_batch(10, [0, 1, 2, 3])
+    assert outcome.failed_mask == 0b1111
+    assert outcome.failed_lanes() == [0, 1, 2, 3]
+
+
+def test_injection_outside_trace_rejected(counter_netlist, counter_campaign_parts):
+    tb, golden, criterion = counter_campaign_parts
+    injector = FaultInjector(counter_netlist, tb, golden, criterion)
+    with pytest.raises(ValueError):
+        injector.run_batch(1000, [0])
+
+
+def test_benign_fault_converges_early():
+    """A fault in dead logic retires the batch long before trace end."""
+    m = Module("deadend")
+    en = m.input("en")
+    visible = m.reg_bus("vis", 4)
+    hidden = m.reg_bus("hid", 4)
+    m.next_en(visible, en, wordlib.inc(visible))
+    m.next_en(hidden, en, wordlib.inc(hidden))
+    m.output_bus("out", visible)
+    m.output_bus("dbg", hidden)
+    nl = synthesize(m)
+    sb = ScheduleBuilder(nl.inputs)
+    sb.drive(0, "rst_n", 0)
+    sb.drive(2, "rst_n", 1)
+    sb.drive(2, "en", 1)
+    tb = Testbench(nl, sb.compile(500))
+    golden = tb.run_golden()
+    criterion = AnyOutputCriterion([f"out[{i}]" for i in range(4)])
+    injector = FaultInjector(nl, tb, golden, criterion, check_interval=2)
+    hidden_idx = [i for i, ff in enumerate(nl.flip_flops()) if "hid" in ff.name]
+    outcome = injector.run_batch(10, hidden_idx)
+    assert outcome.failed_mask == 0
+    assert outcome.cycles_simulated < 20  # retired early, not run to cycle 500
+
+
+def test_fault_through_loopback_is_detected(tiny_mac, tiny_workload, tiny_golden):
+    """TX-side faults must reach the RX criterion through the loopback."""
+    criterion = PacketInterfaceCriterion(tiny_workload.valid_nets, tiny_workload.data_nets)
+    injector = FaultInjector(tiny_mac, tiny_workload.testbench, tiny_golden, criterion)
+    first_active, _ = tiny_workload.active_window
+    # Flip TX FSM state mid-traffic repeatedly; at least one must fail.
+    tx_state_idx = injector.ff_index("ff_tx_state[0]")
+    failures = 0
+    for cycle in range(first_active + 2, first_active + 22, 2):
+        outcome = injector.run_batch(cycle, [tx_state_idx])
+        failures += outcome.failed_mask & 1
+    assert failures > 0
+
+
+# ------------------------------------------------------------ campaign
+
+
+def test_campaign_results_structure(tiny_mac, tiny_campaign):
+    _runner, result = tiny_campaign
+    assert len(result.results) == len(tiny_mac.flip_flops())
+    for record in result.results.values():
+        assert record.n_injections == 16
+        assert 0 <= record.n_failures <= record.n_injections
+        assert 0.0 <= record.fdr <= 1.0
+    assert result.n_forward_runs > 0
+    assert 0.0 <= result.mean_fdr() <= 1.0
+
+
+def test_campaign_fdr_spread_is_plausible(tiny_campaign):
+    """Control state should be far more critical than statistics counters."""
+    _runner, result = tiny_campaign
+    assert result.fdr("ff_tx_state[0]") > 0.5
+    assert result.fdr("ff_stat_tx_frames[0]") == 0.0
+    fdrs = [r.fdr for r in result.results.values()]
+    assert min(fdrs) == 0.0
+    assert max(fdrs) > 0.5
+
+
+def test_campaign_is_deterministic(tiny_mac, tiny_workload, tiny_golden):
+    criterion = PacketInterfaceCriterion(tiny_workload.valid_nets, tiny_workload.data_nets)
+    ffs = tiny_mac.flip_flop_names()[:8]
+    runner = StatisticalFaultCampaign(
+        tiny_mac,
+        tiny_workload.testbench,
+        criterion,
+        active_window=tiny_workload.active_window,
+        golden=tiny_golden,
+    )
+    a = runner.run(n_injections=8, ff_names=ffs, seed=9)
+    b = runner.run(n_injections=8, ff_names=ffs, seed=9)
+    assert [r.n_failures for r in a.results.values()] == [
+        r.n_failures for r in b.results.values()
+    ]
+
+
+def test_campaign_subset_and_json_round_trip(tiny_mac, tiny_workload, tiny_golden):
+    criterion = PacketInterfaceCriterion(tiny_workload.valid_nets, tiny_workload.data_nets)
+    ffs = tiny_mac.flip_flop_names()[:5]
+    runner = StatisticalFaultCampaign(
+        tiny_mac,
+        tiny_workload.testbench,
+        criterion,
+        active_window=tiny_workload.active_window,
+        golden=tiny_golden,
+    )
+    result = runner.run(n_injections=6, ff_names=ffs, seed=1)
+    assert set(result.results) == set(ffs)
+    restored = CampaignResult.from_json(result.to_json())
+    assert restored.circuit == result.circuit
+    assert restored.fdr_vector(ffs) == result.fdr_vector(ffs)
+
+
+def test_campaign_rejects_small_window(tiny_mac, tiny_workload, tiny_golden):
+    criterion = PacketInterfaceCriterion(tiny_workload.valid_nets, tiny_workload.data_nets)
+    runner = StatisticalFaultCampaign(
+        tiny_mac,
+        tiny_workload.testbench,
+        criterion,
+        active_window=(10, 14),
+        golden=tiny_golden,
+    )
+    with pytest.raises(ValueError, match="time slots"):
+        runner.run(n_injections=50, ff_names=tiny_mac.flip_flop_names()[:2])
+
+
+def test_campaign_invalid_window_rejected(tiny_mac, tiny_workload, tiny_golden):
+    criterion = PacketInterfaceCriterion(tiny_workload.valid_nets, tiny_workload.data_nets)
+    with pytest.raises(ValueError, match="window"):
+        StatisticalFaultCampaign(
+            tiny_mac,
+            tiny_workload.testbench,
+            criterion,
+            active_window=(50, 20),
+            golden=tiny_golden,
+        )
+
+
+def test_progress_callback(tiny_mac, tiny_workload, tiny_golden):
+    criterion = PacketInterfaceCriterion(tiny_workload.valid_nets, tiny_workload.data_nets)
+    runner = StatisticalFaultCampaign(
+        tiny_mac,
+        tiny_workload.testbench,
+        criterion,
+        active_window=tiny_workload.active_window,
+        golden=tiny_golden,
+    )
+    calls = []
+    runner.run(
+        n_injections=4,
+        ff_names=tiny_mac.flip_flop_names()[:3],
+        seed=2,
+        progress=lambda done, total: calls.append((done, total)),
+    )
+    assert calls and calls[-1][0] == calls[-1][1]

@@ -1,0 +1,59 @@
+"""Permutation-importance tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_importance
+from repro.ml import KNeighborsRegressor, LinearLeastSquares, StandardScaler, make_pipeline
+from repro.ml.inspection import permutation_importance
+
+
+def test_importance_identifies_informative_feature():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 3))
+    y = 3.0 * X[:, 0] + 0.01 * rng.normal(size=200)  # only x0 matters
+    model = LinearLeastSquares().fit(X, y)
+    result = permutation_importance(model, X, y, n_repeats=5, random_state=0)
+    assert result.ranking()[0] == "x0"
+    assert result.importances_mean[0] > 10 * max(
+        result.importances_mean[1], result.importances_mean[2], 1e-6
+    )
+
+
+def test_importance_custom_names_and_rows():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(100, 2))
+    y = X[:, 1].copy()
+    model = LinearLeastSquares().fit(X, y)
+    result = permutation_importance(
+        model, X, y, feature_names=["noise", "signal"], random_state=0
+    )
+    rows = result.as_rows()
+    assert rows[0][0] == "signal"
+    assert result.baseline_score == pytest.approx(1.0)
+
+
+def test_importance_name_length_validation():
+    X = np.zeros((10, 2))
+    y = np.zeros(10)
+    model = LinearLeastSquares().fit(np.random.rand(10, 2), np.random.rand(10))
+    with pytest.raises(ValueError):
+        permutation_importance(model, X, y, feature_names=["only_one"])
+
+
+def test_importance_deterministic_with_seed(regression_data):
+    X, y = regression_data
+    model = make_pipeline(StandardScaler(), KNeighborsRegressor(3)).fit(X, y)
+    a = permutation_importance(model, X, y, random_state=5).importances_mean
+    b = permutation_importance(model, X, y, random_state=5).importances_mean
+    assert np.allclose(a, b)
+
+
+def test_run_importance_experiment(tiny_dataset):
+    result = run_importance(tiny_dataset, n_repeats=2, seed=0)
+    assert result.result.importances_mean.shape == (tiny_dataset.n_features,)
+    assert "Permutation importance" in result.as_text()
+    # Structural features should dominate the ranking on this dataset.
+    top5 = result.result.ranking()[:5]
+    structural = set(tiny_dataset.groups["structural"])
+    assert any(name in structural for name in top5)

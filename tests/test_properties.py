@@ -1,0 +1,153 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These exercise invariants that tie layers together: synthesized logic vs.
+the expression interpreter, bit-parallel vs. scalar simulation, three-valued
+vs. two-valued evaluation, and statistical invariants of the FDR machinery.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faultinjection import wilson_interval
+from repro.netlist import DEFAULT_LIBRARY
+from repro.sim import CompiledSimulator, eval3, lane_mask
+from repro.sim.logic import X, broadcast, extract_lane, popcount
+from repro.synth import Module, Sig, synthesize
+from repro.synth.expr import And, Const, Expr, Mux, Not, Or, Xor
+
+from tests.test_wordlib import evaluate
+
+
+# ------------------------------------------------------ random expressions
+
+_LEAVES = [Sig("a"), Sig("b"), Sig("c"), Sig("d"), Const(0), Const(1)]
+
+
+def expr_strategy(depth: int = 3):
+    leaf = st.sampled_from(_LEAVES)
+    if depth == 0:
+        return leaf
+    sub = expr_strategy(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(lambda x: Not.of(x), sub),
+        st.builds(lambda x, y: And.of(x, y), sub, sub),
+        st.builds(lambda x, y: Or.of(x, y), sub, sub),
+        st.builds(lambda x, y: Xor.of(x, y), sub, sub),
+        st.builds(lambda s, x, y: Mux.of(s, x, y), sub, sub, sub),
+    )
+
+
+@given(expr=expr_strategy(), assignment=st.integers(0, 15))
+@settings(max_examples=120, deadline=None)
+def test_synthesized_expression_matches_interpreter(expr, assignment):
+    """Any random expression, once mapped to gates, computes the same value."""
+    m = Module("prop")
+    for name in "abcd":
+        m.input(name)
+    m.output("y", expr)
+    nl = synthesize(m)
+    sim = CompiledSimulator(nl)
+    env = {}
+    for i, name in enumerate("abcd"):
+        bit = (assignment >> i) & 1
+        env[name] = bit
+        sim.set_input(name, bit)
+    sim.eval_comb()
+    assert sim.get_bit("y") == evaluate(expr, env)
+
+
+@given(expr=expr_strategy(), lanes=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_bit_parallel_equals_scalar_simulation(expr, lanes):
+    """N-lane simulation equals N independent scalar simulations."""
+    m = Module("lanes")
+    for name in "abcd":
+        m.input(name)
+    m.output("y", expr)
+    nl = synthesize(m)
+    wide = CompiledSimulator(nl, n_lanes=lanes)
+    rng = np.random.default_rng(lanes)
+    lane_inputs = {name: int(rng.integers(0, 1 << lanes)) for name in "abcd"}
+    for name, value in lane_inputs.items():
+        wide.set_input_lanes(name, value)
+    wide.eval_comb()
+    wide_out = wide.get("y")
+    narrow = CompiledSimulator(nl, n_lanes=1)
+    for lane in range(lanes):
+        for name, value in lane_inputs.items():
+            narrow.set_input(name, (value >> lane) & 1)
+        narrow.eval_comb()
+        assert narrow.get_bit("y") == (wide_out >> lane) & 1
+
+
+# ------------------------------------------------------------ three-valued
+
+
+@given(st.sampled_from(sorted(n for n in DEFAULT_LIBRARY.cell_types
+                              if DEFAULT_LIBRARY[n].function is not None
+                              and DEFAULT_LIBRARY[n].inputs)),
+       st.integers(0, 3**4 - 1))
+@settings(max_examples=120, deadline=None)
+def test_eval3_is_sound_abstraction(name, code):
+    """If eval3 returns 0/1, every binary completion agrees with it."""
+    ctype = DEFAULT_LIBRARY[name]
+    k = len(ctype.inputs)
+    inputs = []
+    for i in range(k):
+        inputs.append((code // (3**i)) % 3)
+    result = eval3(ctype, inputs)
+    x_positions = [i for i, v in enumerate(inputs) if v == X]
+    completions = set()
+    for bits in itertools.product((0, 1), repeat=len(x_positions)):
+        concrete = list(inputs)
+        for pos, bit in zip(x_positions, bits):
+            concrete[pos] = bit
+        completions.add(ctype.evaluate(concrete, mask=1))
+    if result != X:
+        assert completions == {result}
+    else:
+        assert len(completions) == 2
+
+
+# ------------------------------------------------------------ logic utils
+
+
+@given(st.integers(1, 200))
+@settings(max_examples=30, deadline=None)
+def test_lane_mask_and_broadcast(n):
+    mask = lane_mask(n)
+    assert popcount(mask) == n
+    assert broadcast(1, mask) == mask
+    assert broadcast(0, mask) == 0
+    for lane in (0, n - 1):
+        assert extract_lane(mask, lane) == 1
+
+
+# -------------------------------------------------------------- statistics
+
+
+@given(trials=st.integers(1, 500), successes=st.integers(0, 500))
+@settings(max_examples=80, deadline=None)
+def test_wilson_interval_contains_point_estimate(trials, successes):
+    successes = min(successes, trials)
+    low, high = wilson_interval(successes, trials)
+    p = successes / trials
+    assert 0.0 <= low <= p <= high <= 1.0
+    # More trials shrink the interval.
+    low2, high2 = wilson_interval(successes * 2, trials * 2)
+    assert (high2 - low2) <= (high - low) + 1e-12
+
+
+# ----------------------------------------------------- dataset invariants
+
+
+def test_fdr_labels_are_proportions(tiny_dataset, tiny_campaign):
+    _runner, campaign = tiny_campaign
+    for name, record in campaign.results.items():
+        assert record.fdr * record.n_injections == pytest.approx(record.n_failures)
+    assert np.all(tiny_dataset.y * campaign.n_injections % 1 < 1e-9)
