@@ -1,0 +1,116 @@
+"""Benchmark: parallel campaign engine vs. the serial engine.
+
+Measures wall-clock speedup of sharded multi-process fault injection on the
+xgmac workload.  Run standalone for the full sweep (this is what the
+acceptance numbers come from)::
+
+    python benchmarks/bench_parallel.py --scale mini --jobs 1 2 4
+
+or through pytest-benchmark with the rest of the suite (tiny scale, so CI
+stays fast).  Results are bit-identical across ``jobs`` counts — the sweep
+asserts it — so the speedup is free of any accuracy trade-off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import sys
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.campaigns import CampaignEngine, CampaignSpec
+from repro.data import DATASET_PRESETS
+
+
+def _spec_for_scale(scale: str, n_injections: int | None = None) -> CampaignSpec:
+    return CampaignSpec.from_dataset_spec(
+        DATASET_PRESETS[scale], schedule="stream", n_injections=n_injections
+    )
+
+
+def _result_key(result) -> Dict[str, List[int]]:
+    return {
+        name: [r.n_injections, r.n_failures, r.latency_sum]
+        for name, r in result.results.items()
+    }
+
+
+def run_sweep(scale: str, jobs_list: List[int]) -> List[Dict]:
+    """Time the campaign at each jobs count; verify bit-identical results."""
+    spec = _spec_for_scale(scale)
+    rows: List[Dict] = []
+    reference = None
+    serial_wall = None
+    for jobs in jobs_list:
+        engine = CampaignEngine(spec, jobs=jobs)  # no cache: measure raw engine
+        start = time.perf_counter()
+        result = engine.run()
+        wall = time.perf_counter() - start
+        if reference is None:
+            reference = _result_key(result)
+        elif _result_key(result) != reference:
+            raise AssertionError(f"jobs={jobs} result differs from serial")
+        if serial_wall is None:
+            serial_wall = wall
+        rows.append(
+            {
+                "jobs": jobs,
+                "wall_seconds": round(wall, 3),
+                "speedup": round(serial_wall / wall, 2),
+                "forward_runs": result.n_forward_runs,
+                "identical": True,
+            }
+        )
+    return rows
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="mini", choices=sorted(DATASET_PRESETS))
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--out", default=None, help="write the sweep as JSON")
+    args = parser.parse_args(argv)
+
+    print(f"scale={args.scale} cpus={multiprocessing.cpu_count()}")
+    rows = run_sweep(args.scale, args.jobs)
+    print(f"{'jobs':>5} {'wall [s]':>10} {'speedup':>8} {'fwd runs':>9}")
+    for row in rows:
+        print(
+            f"{row['jobs']:>5} {row['wall_seconds']:>10.3f} "
+            f"{row['speedup']:>7.2f}x {row['forward_runs']:>9}"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump({"scale": args.scale, "rows": rows}, fh, indent=2)
+    return 0
+
+
+# ------------------------------------------------------------ pytest hooks
+
+
+def test_bench_campaign_serial(benchmark):
+    spec = _spec_for_scale("tiny")
+    result = benchmark.pedantic(
+        lambda: CampaignEngine(spec, jobs=1).run(), rounds=1, iterations=1
+    )
+    assert result.n_forward_runs > 0
+
+
+def test_bench_campaign_parallel_speedup(benchmark):
+    """jobs=4 must beat serial on the tiny campaign (skipped on small hosts)."""
+    if multiprocessing.cpu_count() < 4:
+        pytest.skip("needs >= 4 CPUs for a meaningful speedup measurement")
+    rows = benchmark.pedantic(
+        lambda: run_sweep("tiny", [1, 4]), rounds=1, iterations=1
+    )
+    speedup = rows[-1]["speedup"]
+    print(f"jobs=4 speedup: {speedup}x")
+    assert speedup > 1.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

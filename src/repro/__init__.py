@@ -17,6 +17,9 @@ The package is organized bottom-up, mirroring the paper's flow (Fig. 1):
 ``repro.faultinjection``
     SEU campaigns: golden-trajectory replay, bit-parallel forward fault
     simulation, failure classification, FDR statistics.
+``repro.campaigns``
+    The parallel campaign engine: sharded multi-process execution with a
+    persistent, resumable, content-addressed result store.
 ``repro.features``
     The paper's per-flip-flop feature set (structural / synthesis /
     dynamic) and dataset assembly.
@@ -33,12 +36,24 @@ The package is organized bottom-up, mirroring the paper's flow (Fig. 1):
     Cached dataset generation at three scales (tiny / mini / full).
 """
 
-from . import circuits, experiments, faultinjection, features, flow, ml, netlist, sim, synth
+from . import (
+    campaigns,
+    circuits,
+    experiments,
+    faultinjection,
+    features,
+    flow,
+    ml,
+    netlist,
+    sim,
+    synth,
+)
 from .data import DATASET_PRESETS, DatasetSpec, generate_dataset, get_dataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "campaigns",
     "circuits",
     "experiments",
     "faultinjection",

@@ -1,0 +1,38 @@
+"""Parallel campaign engine: sharded fault injection with a result store.
+
+The paper's cost model treats the flat fault-injection campaign (~1054
+flip-flops x 170 injections) as the expensive asset everything else
+amortizes.  This subsystem applies the same "pay once, reuse forever"
+philosophy to our own compute:
+
+* :mod:`~repro.campaigns.spec` — a self-contained, hashable description of a
+  campaign (circuit, workload, criterion, seeds) that worker processes can
+  rebuild from scratch;
+* :mod:`~repro.campaigns.partition` — deterministic schedules (the legacy
+  serial draw order and a prefix-stable stream schedule) bucketed by
+  injection time slot, and a balanced shard partitioner;
+* :mod:`~repro.campaigns.store` — a content-addressed JSON result store with
+  snapshot reuse, incremental top-up and mid-run checkpoints;
+* :mod:`~repro.campaigns.executor` — the engine: runs shards across worker
+  processes (serial fallback included) and merges per-flip-flop results
+  bit-exactly.
+"""
+
+from .executor import CampaignEngine, EngineReport, run_campaign
+from .partition import Bucket, legacy_buckets, partition_shards, stream_buckets
+from .spec import CampaignContext, CampaignSpec, build_context
+from .store import CampaignStore
+
+__all__ = [
+    "Bucket",
+    "CampaignContext",
+    "CampaignEngine",
+    "CampaignSpec",
+    "CampaignStore",
+    "EngineReport",
+    "build_context",
+    "legacy_buckets",
+    "partition_shards",
+    "run_campaign",
+    "stream_buckets",
+]

@@ -1,0 +1,426 @@
+"""The campaign engine: sharded execution, merging, caching, resume.
+
+:class:`CampaignEngine` turns a :class:`~repro.campaigns.spec.CampaignSpec`
+into a :class:`~repro.faultinjection.campaign.CampaignResult`:
+
+1. consult the :class:`~repro.campaigns.store.CampaignStore` (if a cache
+   directory is configured) — an exact snapshot hit costs zero forward
+   simulations, and with the ``stream`` schedule a smaller snapshot seeds an
+   incremental top-up;
+2. plan the remaining injection draws as time-slot buckets and partition
+   them into balanced shards;
+3. run the shards — in worker processes (``jobs > 1``), each of which
+   rebuilds its own netlist/golden trace/:class:`FaultInjector` from the
+   picklable spec, or serially in-process as a fallback;
+4. merge the per-flip-flop counters (pure integer sums, so the merged
+   result is bit-identical to a serial run of the same schedule) and
+   checkpoint progress to the store after every shard.
+
+``KeyboardInterrupt`` (or any other error) mid-campaign leaves a valid
+checkpoint behind; the next run with the same spec resumes from it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..faultinjection.campaign import CampaignResult, FlipFlopResult
+from ..faultinjection.injector import FaultInjector
+from .partition import Bucket, legacy_buckets, partition_shards, stream_buckets
+from .spec import CampaignContext, CampaignSpec, build_context
+from .store import CampaignStore
+
+__all__ = ["CampaignEngine", "EngineReport", "run_campaign"]
+
+#: Shards per worker process: more shards than workers smooths load balance
+#: and tightens checkpoint granularity without measurable overhead.
+SHARDS_PER_JOB = 4
+
+
+@dataclass
+class EngineReport:
+    """What one :meth:`CampaignEngine.run` actually did (vs. reused)."""
+
+    jobs: int = 1
+    cache_hit: bool = False
+    base_injections: int = 0
+    resumed_buckets: int = 0
+    executed_buckets: int = 0
+    executed_lanes: int = 0
+    executed_forward_runs: int = 0
+    n_shards: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class _Accumulator:
+    """Mergeable per-flip-flop counters plus engine-level metrics."""
+
+    ff: Dict[str, List[int]] = field(default_factory=dict)
+    n_forward_runs: int = 0
+    total_lane_cycles: int = 0
+    wall_seconds: float = 0.0
+
+    def merge_shard(self, payload: Dict) -> None:
+        for name, (inj, fail, lat) in payload["ff"].items():
+            rec = self.ff.setdefault(name, [0, 0, 0])
+            rec[0] += inj
+            rec[1] += fail
+            rec[2] += lat
+        self.n_forward_runs += payload["n_forward_runs"]
+        self.total_lane_cycles += payload["total_lane_cycles"]
+
+    def to_payload(self) -> Dict:
+        return {
+            "ff": self.ff,
+            "n_forward_runs": self.n_forward_runs,
+            "total_lane_cycles": self.total_lane_cycles,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "_Accumulator":
+        acc = cls(
+            n_forward_runs=payload.get("n_forward_runs", 0),
+            total_lane_cycles=payload.get("total_lane_cycles", 0),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+        )
+        acc.ff = {name: list(rec) for name, rec in payload.get("ff", {}).items()}
+        return acc
+
+
+class _ShardRunner:
+    """Executes buckets against one injector (one per process)."""
+
+    def __init__(self, spec: CampaignSpec, context: CampaignContext) -> None:
+        self.spec = spec
+        golden = context.ensure_golden()
+        self.injector = FaultInjector(
+            context.netlist,
+            context.workload.testbench,
+            golden,
+            context.criterion,
+            check_interval=spec.check_interval,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: CampaignSpec) -> "_ShardRunner":
+        return cls(spec, build_context(spec))
+
+    def run_shard(self, buckets: Sequence[Tuple[int, Sequence[str]]]) -> Dict:
+        """Simulate a shard's buckets; return mergeable counters."""
+        spec = self.spec
+        injector = self.injector
+        ff: Dict[str, List[int]] = {}
+        n_runs = 0
+        lane_cycles = 0
+        for cycle, lanes in buckets:
+            indices = [injector.ff_index(name) for name in lanes]
+            for start in range(0, len(indices), spec.max_lanes):
+                chunk = indices[start : start + spec.max_lanes]
+                names = lanes[start : start + spec.max_lanes]
+                outcome = injector.run_batch(cycle, chunk, horizon=spec.horizon)
+                n_runs += 1
+                lane_cycles += outcome.cycles_simulated * len(chunk)
+                for lane, name in enumerate(names):
+                    rec = ff.setdefault(name, [0, 0, 0])
+                    rec[0] += 1
+                    if (outcome.failed_mask >> lane) & 1:
+                        rec[1] += 1
+                        rec[2] += outcome.latencies.get(lane, 0)
+        return {
+            "ff": ff,
+            "n_forward_runs": n_runs,
+            "total_lane_cycles": lane_cycles,
+            "done_cycles": [cycle for cycle, _ in buckets],
+        }
+
+
+# --------------------------------------------------- worker process hooks
+
+_WORKER: Optional[_ShardRunner] = None
+
+
+def _worker_init(spec_payload: Dict) -> None:
+    global _WORKER
+    _WORKER = _ShardRunner.from_spec(CampaignSpec.from_dict(spec_payload))
+
+
+def _worker_run_shard(shard: List[Tuple[int, Tuple[str, ...]]]) -> Dict:
+    assert _WORKER is not None, "worker used before initialization"
+    return _WORKER.run_shard(shard)
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class CampaignEngine:
+    """Parallel, cached, resumable campaign execution.
+
+    Parameters
+    ----------
+    spec:
+        Self-contained campaign description.
+    jobs:
+        Worker processes; ``1`` (default) runs everything in-process.
+    cache_dir:
+        Root of the result store (``<cache_dir>/campaigns/``).  ``None``
+        disables persistence (no snapshots, no resume).
+    context:
+        Optional pre-built environment for the calling process, e.g. when
+        the caller needs the same netlist/golden trace for feature
+        extraction.  Workers always rebuild their own from the spec.
+    progress:
+        ``progress(done_shards, total_shards)`` callback.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        jobs: int = 1,
+        cache_dir: Optional[Path] = None,
+        context: Optional[CampaignContext] = None,
+        shards_per_job: int = SHARDS_PER_JOB,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.spec = spec
+        self.jobs = jobs
+        self.store = (
+            CampaignStore(Path(cache_dir) / "campaigns") if cache_dir is not None else None
+        )
+        if context is not None:
+            self._validate_context(context)
+        self._context = context
+        self._run_start = time.monotonic()
+        self.shards_per_job = max(1, shards_per_job)
+        self.progress = progress
+        self.last_report = EngineReport()
+
+    def _validate_context(self, context: CampaignContext) -> None:
+        """Guard the invariants a caller-supplied context must share with the
+        spec: workers (jobs > 1) and the result store trust the spec alone,
+        so a divergent context would silently poison both."""
+        from ..faultinjection.classify import AnyOutputCriterion, PacketInterfaceCriterion
+
+        if context.netlist.name != self.spec.circuit:
+            raise ValueError(
+                f"context netlist {context.netlist.name!r} does not match "
+                f"spec circuit {self.spec.circuit!r}"
+            )
+        expected = (
+            PacketInterfaceCriterion if self.spec.criterion == "packet" else AnyOutputCriterion
+        )
+        if not isinstance(context.criterion, expected):
+            raise ValueError(
+                f"context criterion {type(context.criterion).__name__} does not "
+                f"match spec criterion {self.spec.criterion!r}"
+            )
+
+    @property
+    def context(self) -> CampaignContext:
+        if self._context is None:
+            self._context = build_context(self.spec)
+        return self._context
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, resume: bool = True) -> CampaignResult:
+        """Execute (or load, or top up) the campaign described by the spec."""
+        start_time = self._run_start = time.monotonic()
+        spec = self.spec
+        report = EngineReport(jobs=self.jobs)
+        self.last_report = report
+
+        if self.store is not None:
+            exact = self.store.load_exact(spec)
+            if exact is not None:
+                report.cache_hit = True
+                report.base_injections = spec.n_injections
+                report.wall_seconds = time.monotonic() - start_time
+                return exact
+
+        base: Optional[CampaignResult] = None
+        base_n = 0
+        if self.store is not None and spec.schedule == "stream":
+            found = self.store.best_snapshot(spec)
+            if found is not None:
+                base_n, base = found
+        report.base_injections = base_n
+
+        context = self.context
+        window = context.window_cycles()
+        ff_names = context.ff_names(spec)
+        if spec.schedule == "legacy":
+            buckets = legacy_buckets(spec, window, ff_names)
+        else:
+            buckets = stream_buckets(
+                spec, window, ff_names, start=base_n, stop=spec.n_injections
+            )
+
+        accum = _Accumulator()
+        done_cycles: Set[int] = set()
+        if self.store is not None and resume:
+            checkpoint = self.store.load_partial(spec, base_n, spec.n_injections)
+            if checkpoint is not None:
+                done_cycles, accum_payload = checkpoint
+                accum = _Accumulator.from_payload(accum_payload)
+                report.resumed_buckets = len(done_cycles)
+        pending = [b for b in buckets if b.cycle not in done_cycles]
+
+        n_shards = min(len(pending), max(1, self.jobs * self.shards_per_job))
+        shards = partition_shards(pending, n_shards) if pending else []
+        report.n_shards = len(shards)
+
+        try:
+            if self.jobs > 1 and len(shards) > 1:
+                self._run_parallel(shards, accum, done_cycles, report)
+            else:
+                self._run_serial(shards, accum, done_cycles, report)
+        except BaseException:
+            self._checkpoint(base_n, done_cycles, accum)
+            raise
+
+        result = self._assemble(ff_names, base, accum)
+        # accum.wall_seconds carries time spent by interrupted predecessors
+        # (restored from the checkpoint); base carries prior snapshots'.
+        result.wall_seconds = (
+            (base.wall_seconds if base else 0.0)
+            + accum.wall_seconds
+            + (time.monotonic() - start_time)
+        )
+        if self.store is not None:
+            self.store.save_snapshot(spec, result)
+        report.wall_seconds = time.monotonic() - start_time
+        return result
+
+    # ------------------------------------------------------------ execution
+
+    def _consume(
+        self,
+        shard_payloads: Iterable[Dict],
+        total: int,
+        accum: _Accumulator,
+        done_cycles: Set[int],
+        report: EngineReport,
+        base_n: int,
+    ) -> None:
+        done = 0
+        for payload in shard_payloads:
+            accum.merge_shard(payload)
+            done_cycles.update(payload["done_cycles"])
+            report.executed_buckets += len(payload["done_cycles"])
+            report.executed_forward_runs += payload["n_forward_runs"]
+            report.executed_lanes += sum(rec[0] for rec in payload["ff"].values())
+            done += 1
+            if done < total:  # final state is persisted as a snapshot instead
+                self._checkpoint(base_n, done_cycles, accum)
+            if self.progress is not None:
+                self.progress(done, total)
+
+    def _run_serial(
+        self,
+        shards: List[List[Bucket]],
+        accum: _Accumulator,
+        done_cycles: Set[int],
+        report: EngineReport,
+    ) -> None:
+        if not shards:
+            return
+        runner = _ShardRunner(self.spec, self.context)
+        payloads = (
+            runner.run_shard([(b.cycle, b.lanes) for b in shard]) for shard in shards
+        )
+        self._consume(
+            payloads, len(shards), accum, done_cycles, report, report.base_injections
+        )
+
+    def _run_parallel(
+        self,
+        shards: List[List[Bucket]],
+        accum: _Accumulator,
+        done_cycles: Set[int],
+        report: EngineReport,
+    ) -> None:
+        ctx = _mp_context()
+        tasks = [[(b.cycle, b.lanes) for b in shard] for shard in shards]
+        with ctx.Pool(
+            processes=min(self.jobs, len(shards)),
+            initializer=_worker_init,
+            initargs=(self.spec.to_dict(),),
+        ) as pool:
+            self._consume(
+                pool.imap_unordered(_worker_run_shard, tasks),
+                len(shards),
+                accum,
+                done_cycles,
+                report,
+                report.base_injections,
+            )
+
+    # ------------------------------------------------------------- plumbing
+
+    def _checkpoint(
+        self, base_n: int, done_cycles: Set[int], accum: _Accumulator
+    ) -> None:
+        if self.store is not None and done_cycles:
+            payload = accum.to_payload()
+            payload["wall_seconds"] = accum.wall_seconds + (
+                time.monotonic() - self._run_start
+            )
+            self.store.save_partial(
+                self.spec, base_n, self.spec.n_injections, done_cycles, payload
+            )
+
+    def _assemble(
+        self,
+        ff_names: Sequence[str],
+        base: Optional[CampaignResult],
+        accum: _Accumulator,
+    ) -> CampaignResult:
+        spec = self.spec
+        result = CampaignResult(
+            circuit=spec.circuit, n_injections=spec.n_injections, seed=spec.seed
+        )
+        for name in ff_names:
+            record = FlipFlopResult(name)
+            if base is not None and name in base.results:
+                prior = base.results[name]
+                record.n_injections += prior.n_injections
+                record.n_failures += prior.n_failures
+                record.latency_sum += prior.latency_sum
+            delta = accum.ff.get(name)
+            if delta is not None:
+                record.n_injections += delta[0]
+                record.n_failures += delta[1]
+                record.latency_sum += delta[2]
+            result.results[name] = record
+        result.n_forward_runs = (base.n_forward_runs if base else 0) + accum.n_forward_runs
+        result.total_lane_cycles = (
+            base.total_lane_cycles if base else 0
+        ) + accum.total_lane_cycles
+        return result
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache_dir: Optional[Path] = None,
+    resume: bool = True,
+    context: Optional[CampaignContext] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CampaignResult:
+    """One-call convenience wrapper around :class:`CampaignEngine`."""
+    engine = CampaignEngine(
+        spec, jobs=jobs, cache_dir=cache_dir, context=context, progress=progress
+    )
+    return engine.run(resume=resume)

@@ -1,0 +1,188 @@
+"""Campaign work partitioning: schedules, time-slot buckets, shards.
+
+The unit of work is a :class:`Bucket` — all injections sharing one time
+slot, simulated together as bit-parallel lanes of a single forward run.
+Because every lane of a batch is computed independently (the simulator is
+exact per lane and a converged lane can never fail later), per-flip-flop
+outcomes do not depend on which process runs which bucket; only the
+*schedule* (which flip-flop is struck at which cycle, in which lane order)
+matters for bit-exactness.  Both schedules here are therefore computed
+centrally and deterministically; the shard partitioner merely distributes
+whole buckets across workers.
+
+Two schedules are provided:
+
+``legacy``
+    Reproduces :class:`~repro.faultinjection.campaign.StatisticalFaultCampaign`
+    draw-for-draw (same RNG consumption order), so a sharded run merges to a
+    result bit-identical to the serial reference engine.
+
+``stream``
+    A prefix-stable variant: injection draw *j* of a flip-flop depends only
+    on *j* and the campaign seed, never on the total budget.  Draw *j* is
+    sampled without replacement from the first ``ceil(1.5 * (j + 1))``
+    entries of a seeded permutation of the active window, which keeps the
+    draws of all flip-flops concentrated on the same ~1.5 n time slots (the
+    serial scheduler's density) while allowing a cached *n*-injection
+    campaign to be topped up to *m > n* injections by simulating only draws
+    ``n .. m-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .spec import CampaignSpec
+
+__all__ = [
+    "Bucket",
+    "legacy_buckets",
+    "stream_buckets",
+    "stream_draws",
+    "partition_shards",
+]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """All injections of one time slot: ``lanes[j]`` is the flip-flop struck
+    in bit-parallel lane *j* of the forward run at ``cycle``."""
+
+    cycle: int
+    lanes: Tuple[str, ...]
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.lanes)
+
+
+def _to_buckets(table: Dict[int, List[str]]) -> List[Bucket]:
+    return [Bucket(cycle, tuple(table[cycle])) for cycle in sorted(table)]
+
+
+# ------------------------------------------------------------ legacy draws
+
+
+def legacy_buckets(
+    spec: CampaignSpec, window: Sequence[int], ff_names: Sequence[str]
+) -> List[Bucket]:
+    """The serial reference schedule, bucketed by time slot.
+
+    Consumes ``random.Random(spec.seed)`` in exactly the order
+    :meth:`StatisticalFaultCampaign.run` does (global slot pool first, then
+    one sample per flip-flop), so the resulting buckets — including lane
+    order within each bucket — match the serial engine's.
+    """
+    n = spec.n_injections
+    rng = random.Random(spec.seed)
+    n_time_slots = spec.n_time_slots
+    if n_time_slots is None:
+        n_time_slots = min(len(window), max(n, int(1.5 * n)))
+    if n_time_slots < n:
+        raise ValueError(
+            f"need at least {n} time slots in the active window, got {n_time_slots}"
+        )
+    slots = sorted(rng.sample(list(window), n_time_slots))
+    table: Dict[int, List[str]] = {}
+    for name in ff_names:
+        for cycle in rng.sample(slots, n):
+            table.setdefault(cycle, []).append(name)
+    return _to_buckets(table)
+
+
+# ------------------------------------------------------------ stream draws
+
+
+def _pool_size(draw: int, window_len: int) -> int:
+    """Slot-pool size available to draw *draw* (0-based): ceil(1.5 (draw+1)),
+    capped by the window."""
+    k = draw + 1
+    return min(window_len, k + (k + 1) // 2)
+
+
+def stream_draws(
+    slot_stream: Sequence[int], rng: random.Random, stop: int
+) -> List[int]:
+    """First *stop* injection cycles of one flip-flop's draw stream.
+
+    Samples without replacement from a growing prefix of ``slot_stream``.
+    Prefix-stable by construction: the first *n* draws are identical for
+    every ``stop >= n``.
+    """
+    if stop > len(slot_stream):
+        raise ValueError(
+            f"active window has only {len(slot_stream)} cycles; cannot draw "
+            f"{stop} injections without replacement"
+        )
+    draws: List[int] = []
+    candidates: List[int] = []
+    consumed = 0
+    for j in range(stop):
+        grow = _pool_size(j, len(slot_stream))
+        if grow > consumed:
+            candidates.extend(slot_stream[consumed:grow])
+            consumed = grow
+        pick = rng.randrange(len(candidates))
+        draws.append(candidates[pick])
+        candidates[pick] = candidates[-1]
+        candidates.pop()
+    return draws
+
+
+def stream_slot_order(spec: CampaignSpec, window: Sequence[int]) -> List[int]:
+    """The campaign family's seeded slot permutation of the active window."""
+    stream = list(window)
+    random.Random(f"slots:{spec.seed}").shuffle(stream)
+    return stream
+
+
+def stream_buckets(
+    spec: CampaignSpec,
+    window: Sequence[int],
+    ff_names: Sequence[str],
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> List[Bucket]:
+    """Buckets for stream-schedule draws ``start .. stop-1`` of every flip-flop.
+
+    ``start > 0`` plans an incremental top-up: only the delta beyond an
+    already-cached ``start``-injection snapshot is scheduled.
+    """
+    if stop is None:
+        stop = spec.n_injections
+    if not 0 <= start <= stop:
+        raise ValueError(f"invalid draw range [{start}, {stop})")
+    slot_stream = stream_slot_order(spec, window)
+    table: Dict[int, List[str]] = {}
+    for name in ff_names:
+        rng = random.Random(f"ff:{spec.seed}:{name}")
+        for cycle in stream_draws(slot_stream, rng, stop)[start:]:
+            table.setdefault(cycle, []).append(name)
+    return _to_buckets(table)
+
+
+# ------------------------------------------------------------- sharding
+
+
+def partition_shards(buckets: Sequence[Bucket], n_shards: int) -> List[List[Bucket]]:
+    """Split buckets into at most *n_shards* balanced, independent shards.
+
+    Deterministic longest-processing-time greedy on lane counts (a bucket's
+    simulation cost is roughly proportional to its lanes); within each shard
+    buckets stay sorted by cycle so execution order matches the serial
+    engine's chunking.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    n_shards = min(n_shards, len(buckets)) or 1
+    loads = [0] * n_shards
+    shards: List[List[Bucket]] = [[] for _ in range(n_shards)]
+    for bucket in sorted(buckets, key=lambda b: (-b.n_lanes, b.cycle)):
+        target = min(range(n_shards), key=lambda i: (loads[i], i))
+        shards[target].append(bucket)
+        loads[target] += bucket.n_lanes
+    for shard in shards:
+        shard.sort(key=lambda b: b.cycle)
+    return [shard for shard in shards if shard]

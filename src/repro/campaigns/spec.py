@@ -1,0 +1,195 @@
+"""Self-contained campaign specifications.
+
+A :class:`CampaignSpec` captures *everything* that determines a campaign's
+per-flip-flop results: the circuit preset, the workload generator
+parameters, the failure criterion, the injection budget and the RNG seeds.
+Because the spec is a small frozen dataclass it can be
+
+* hashed into a content address for the result store
+  (:meth:`CampaignSpec.cache_key` / :meth:`CampaignSpec.family_key`), and
+* pickled to worker processes, which rebuild the netlist, testbench and
+  golden trace locally instead of shipping megabytes of simulator state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.library import get_circuit
+from ..circuits.workloads import XgMacWorkload, build_xgmac_workload
+from ..faultinjection.classify import (
+    AnyOutputCriterion,
+    FailureCriterion,
+    PacketInterfaceCriterion,
+)
+from ..netlist.core import Netlist
+from ..sim.testbench import GoldenTrace
+
+__all__ = ["CampaignSpec", "CampaignContext", "build_context"]
+
+SCHEDULES = ("stream", "legacy")
+CRITERIA = ("packet", "any_output")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """All parameters that determine a fault-injection campaign.
+
+    ``schedule`` selects the injection-time scheduler:
+
+    * ``"legacy"`` reproduces
+      :meth:`~repro.faultinjection.campaign.StatisticalFaultCampaign.run`
+      draw-for-draw, so the engine's output is bit-identical to the serial
+      reference implementation for the same seed;
+    * ``"stream"`` draws injection times as a prefix-stable per-flip-flop
+      stream (see :func:`repro.campaigns.partition.stream_buckets`), which
+      lets the result store extend a cached *n*-injection campaign to
+      *m > n* injections by simulating only the ``m - n`` delta.
+    """
+
+    circuit: str = "xgmac_mini"
+    n_frames: int = 8
+    min_len: int = 4
+    max_len: int = 7
+    gap: int = 14
+    workload_seed: int = 1
+    n_injections: int = 60
+    seed: int = 0
+    schedule: str = "stream"
+    criterion: str = "packet"
+    ff_names: Optional[Tuple[str, ...]] = None
+    n_time_slots: Optional[int] = None
+    horizon: Optional[int] = None
+    max_lanes: int = 256
+    check_interval: int = 8
+
+    def __post_init__(self) -> None:
+        if self.schedule not in SCHEDULES:
+            raise ValueError(f"unknown schedule {self.schedule!r}; choose from {SCHEDULES}")
+        if self.criterion not in CRITERIA:
+            raise ValueError(f"unknown criterion {self.criterion!r}; choose from {CRITERIA}")
+        if self.n_injections <= 0:
+            raise ValueError("n_injections must be positive")
+
+    # ------------------------------------------------------------- identity
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        if payload["ff_names"] is not None:
+            payload["ff_names"] = list(payload["ff_names"])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignSpec":
+        data = dict(payload)
+        if data.get("ff_names") is not None:
+            data["ff_names"] = tuple(data["ff_names"])  # type: ignore[arg-type]
+        return cls(**data)  # type: ignore[arg-type]
+
+    def _hash_of(self, payload: Dict[str, object]) -> str:
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()[:16]
+
+    def cache_key(self) -> str:
+        """Content address of this exact campaign (injection budget included)."""
+        return self._hash_of(self.to_dict())
+
+    def family_key(self) -> str:
+        """Content address of the campaign *family* sharing one store file.
+
+        For the ``stream`` schedule the injection budget is excluded: all
+        budgets of the same family share injection draws as prefixes, so a
+        cached 50-injection snapshot can seed a 170-injection run.  The
+        ``legacy`` schedule reshuffles everything when the budget changes,
+        so there the budget stays part of the identity.
+        """
+        payload = self.to_dict()
+        if self.schedule == "stream":
+            payload.pop("n_injections")
+        return self._hash_of(payload)
+
+    def with_injections(self, n_injections: int) -> "CampaignSpec":
+        return replace(self, n_injections=n_injections)
+
+    @classmethod
+    def from_dataset_spec(
+        cls,
+        dataset_spec,
+        schedule: str = "legacy",
+        n_injections: Optional[int] = None,
+    ) -> "CampaignSpec":
+        """Mirror a :class:`repro.data.DatasetSpec` (duck-typed to avoid the
+        circular import; ``repro.data`` builds on this package)."""
+        return cls(
+            circuit=dataset_spec.circuit,
+            n_frames=dataset_spec.n_frames,
+            min_len=dataset_spec.min_len,
+            max_len=dataset_spec.max_len,
+            gap=dataset_spec.gap,
+            workload_seed=dataset_spec.workload_seed,
+            n_injections=(
+                n_injections if n_injections is not None else dataset_spec.n_injections
+            ),
+            seed=dataset_spec.campaign_seed,
+            schedule=schedule,
+        )
+
+
+@dataclass
+class CampaignContext:
+    """Instantiated campaign environment (netlist, workload, criterion).
+
+    The golden trace is recorded lazily: the engine's planning stage only
+    needs the active window (available from the workload), and worker
+    processes record their own golden traces anyway.
+    """
+
+    netlist: Netlist
+    workload: XgMacWorkload
+    criterion: FailureCriterion
+    golden: Optional[GoldenTrace] = field(default=None, repr=False)
+
+    @property
+    def active_window(self) -> Tuple[int, int]:
+        return self.workload.active_window
+
+    def window_cycles(self) -> List[int]:
+        first, last = self.workload.active_window
+        n_cycles = self.workload.testbench.n_cycles
+        if not 0 <= first < last <= n_cycles:
+            raise ValueError(f"invalid active window {(first, last)}")
+        return list(range(first, last))
+
+    def ensure_golden(self) -> GoldenTrace:
+        if self.golden is None:
+            self.golden = self.workload.testbench.run_golden()
+        return self.golden
+
+    def ff_names(self, spec: CampaignSpec) -> List[str]:
+        if spec.ff_names is not None:
+            return list(spec.ff_names)
+        return [ff.name for ff in self.netlist.flip_flops()]
+
+
+def build_context(spec: CampaignSpec) -> CampaignContext:
+    """Instantiate the netlist, workload and criterion a spec describes."""
+    netlist = get_circuit(spec.circuit)
+    workload = build_xgmac_workload(
+        netlist,
+        n_frames=spec.n_frames,
+        min_len=spec.min_len,
+        max_len=spec.max_len,
+        gap=spec.gap,
+        seed=spec.workload_seed,
+    )
+    if spec.criterion == "packet":
+        criterion: FailureCriterion = PacketInterfaceCriterion(
+            workload.valid_nets, workload.data_nets
+        )
+    else:
+        criterion = AnyOutputCriterion.all_outputs(netlist)
+    return CampaignContext(netlist=netlist, workload=workload, criterion=criterion)

@@ -1,0 +1,174 @@
+"""Content-addressed, resumable campaign result store.
+
+One JSON document per campaign *family* (see
+:meth:`~repro.campaigns.spec.CampaignSpec.family_key`), holding
+
+* ``snapshots`` — finished :class:`CampaignResult` payloads keyed by their
+  injection budget.  A re-run of a stored budget costs zero forward
+  simulations; with the ``stream`` schedule a smaller stored budget seeds an
+  incremental top-up (only the delta draws are simulated);
+* ``partial`` — a mid-run checkpoint (completed time-slot buckets plus the
+  accumulated per-flip-flop counts) written after every shard, so an
+  interrupted campaign resumes where it stopped.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-write never
+corrupts previously stored results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..faultinjection.campaign import CampaignResult
+from .spec import CampaignSpec
+
+__all__ = ["CampaignStore"]
+
+STORE_VERSION = 1
+
+
+class CampaignStore:
+    """JSON-on-disk store keyed by campaign-spec hash."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, spec: CampaignSpec) -> Path:
+        return self.root / f"campaign_{spec.circuit}_{spec.family_key()}.json"
+
+    # ----------------------------------------------------------------- io
+
+    def _read(self, spec: CampaignSpec) -> Optional[Dict]:
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if doc.get("store_version", 0) > STORE_VERSION:
+            return None
+        if doc.get("family") != spec.family_key():
+            return None
+        return doc
+
+    def _write(self, spec: CampaignSpec, doc: Dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc))
+        os.replace(tmp, path)
+
+    def _doc(self, spec: CampaignSpec) -> Dict:
+        doc = self._read(spec)
+        if doc is None:
+            doc = {
+                "store_version": STORE_VERSION,
+                "family": spec.family_key(),
+                "schedule": spec.schedule,
+                "spec": spec.to_dict(),
+                "snapshots": {},
+                "partial": None,
+            }
+        return doc
+
+    # ----------------------------------------------------------- snapshots
+
+    def load_exact(self, spec: CampaignSpec) -> Optional[CampaignResult]:
+        """The stored result for exactly ``spec.n_injections``, if any."""
+        doc = self._read(spec)
+        if doc is None:
+            return None
+        payload = doc["snapshots"].get(str(spec.n_injections))
+        if payload is None:
+            return None
+        try:
+            return CampaignResult.from_payload(payload)
+        except (KeyError, ValueError):
+            return None
+
+    def best_snapshot(
+        self, spec: CampaignSpec
+    ) -> Optional[Tuple[int, CampaignResult]]:
+        """Largest stored snapshot with a budget ``<= spec.n_injections``.
+
+        Only meaningful for the ``stream`` schedule, whose draws are
+        prefix-stable across budgets.
+        """
+        doc = self._read(spec)
+        if doc is None:
+            return None
+        candidates = sorted(
+            (int(n) for n in doc["snapshots"] if int(n) <= spec.n_injections),
+            reverse=True,
+        )
+        for n in candidates:
+            try:
+                return n, CampaignResult.from_payload(doc["snapshots"][str(n)])
+            except (KeyError, ValueError):
+                continue
+        return None
+
+    def save_snapshot(self, spec: CampaignSpec, result: CampaignResult) -> None:
+        doc = self._doc(spec)
+        doc["spec"] = spec.to_dict()
+        doc["snapshots"][str(result.n_injections)] = result.to_payload()
+        partial = doc.get("partial")
+        if partial is not None and partial.get("target") == result.n_injections:
+            doc["partial"] = None
+        self._write(spec, doc)
+
+    # ------------------------------------------------------------ partials
+
+    def load_partial(
+        self, spec: CampaignSpec, base: int, target: int
+    ) -> Optional[Tuple[Set[int], Dict]]:
+        """Checkpoint of an interrupted ``base -> target`` run, if one matches.
+
+        Returns the set of completed bucket cycles and the accumulated
+        counters (``{"ff": {name: [inj, fail, lat]}, "n_forward_runs": ...,
+        "total_lane_cycles": ..., "wall_seconds": ...}``).
+        """
+        doc = self._read(spec)
+        if doc is None:
+            return None
+        partial = doc.get("partial")
+        if not partial:
+            return None
+        if partial.get("base") != base or partial.get("target") != target:
+            return None
+        return set(partial["done_cycles"]), partial["accum"]
+
+    def save_partial(
+        self,
+        spec: CampaignSpec,
+        base: int,
+        target: int,
+        done_cycles: Set[int],
+        accum: Dict,
+    ) -> None:
+        doc = self._doc(spec)
+        doc["partial"] = {
+            "base": base,
+            "target": target,
+            "done_cycles": sorted(done_cycles),
+            "accum": accum,
+        }
+        self._write(spec, doc)
+
+    def clear_partial(self, spec: CampaignSpec) -> None:
+        doc = self._read(spec)
+        if doc is not None and doc.get("partial") is not None:
+            doc["partial"] = None
+            self._write(spec, doc)
+
+    # ----------------------------------------------------------- inventory
+
+    def stored_budgets(self, spec: CampaignSpec) -> List[int]:
+        doc = self._read(spec)
+        if doc is None:
+            return []
+        return sorted(int(n) for n in doc["snapshots"])

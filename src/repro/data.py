@@ -20,9 +20,11 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from .campaigns.executor import CampaignEngine
+from .campaigns.spec import CampaignContext, CampaignSpec
 from .circuits.library import get_circuit
 from .circuits.workloads import XgMacWorkload, build_xgmac_workload
-from .faultinjection.campaign import CampaignResult, StatisticalFaultCampaign
+from .faultinjection.campaign import CampaignResult
 from .faultinjection.classify import PacketInterfaceCriterion
 from .features.dataset import Dataset
 from .features.extractor import build_dataset
@@ -96,19 +98,30 @@ def build_workload(spec: DatasetSpec) -> Tuple[Netlist, XgMacWorkload]:
     return netlist, workload
 
 
-def generate_dataset(spec: DatasetSpec) -> Tuple[Dataset, CampaignResult]:
-    """Run the full reference flow for *spec* (no caching)."""
+def generate_dataset(
+    spec: DatasetSpec,
+    jobs: int = 1,
+    campaign_cache_dir: Optional[Path] = None,
+) -> Tuple[Dataset, CampaignResult]:
+    """Run the full reference flow for *spec* (no dataset caching).
+
+    The fault campaign runs on the :class:`~repro.campaigns.CampaignEngine`
+    in ``legacy`` schedule mode, which is draw-for-draw identical to the
+    historical serial runner — so datasets are bit-stable across ``jobs``
+    counts — while gaining sharded execution and (when
+    *campaign_cache_dir* is set) snapshot reuse and resumability.
+    """
     netlist, workload = build_workload(spec)
     criterion = PacketInterfaceCriterion(workload.valid_nets, workload.data_nets)
-    campaign_runner = StatisticalFaultCampaign(
-        netlist, workload.testbench, criterion, active_window=workload.active_window
+    campaign_spec = CampaignSpec.from_dataset_spec(spec, schedule="legacy")
+    context = CampaignContext(netlist=netlist, workload=workload, criterion=criterion)
+    engine = CampaignEngine(
+        campaign_spec, jobs=jobs, cache_dir=campaign_cache_dir, context=context
     )
-    campaign = campaign_runner.run(
-        n_injections=spec.n_injections, seed=spec.campaign_seed
-    )
+    campaign = engine.run()
     dataset = build_dataset(
         netlist,
-        campaign_runner.golden,
+        context.ensure_golden(),
         campaign,
         meta={"spec": asdict(spec)},
     )
@@ -120,11 +133,15 @@ def get_dataset(
     spec: Optional[DatasetSpec] = None,
     cache_dir: Optional[Path] = None,
     regenerate: bool = False,
+    jobs: int = 1,
 ) -> Dataset:
     """Load (or generate and cache) a labelled dataset.
 
     Either name a preset (``tiny``/``mini``/``full``) or pass an explicit
-    :class:`DatasetSpec`.
+    :class:`DatasetSpec`.  ``jobs > 1`` shards the fault campaign across
+    worker processes (the result is bit-identical to ``jobs=1``); the same
+    *cache_dir* also holds the campaign result store, so an interrupted
+    generation resumes instead of restarting.
     """
     if spec is None:
         try:
@@ -137,7 +154,7 @@ def get_dataset(
     cache_file = cache_dir / f"dataset_{spec.circuit}_{spec.cache_key()}.json"
     if cache_file.exists() and not regenerate:
         return Dataset.from_json(cache_file.read_text())
-    dataset, _campaign = generate_dataset(spec)
+    dataset, _campaign = generate_dataset(spec, jobs=jobs, campaign_cache_dir=cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
     cache_file.write_text(dataset.to_json())
     return dataset

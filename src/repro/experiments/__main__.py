@@ -4,12 +4,20 @@ Usage::
 
     python -m repro.experiments table1 --scale mini
     python -m repro.experiments fig2 fig3 fig4 --scale full --out results/
-    python -m repro.experiments all --scale tiny
+    python -m repro.experiments all --scale tiny --jobs 4
+    python -m repro.experiments campaign --scale mini --jobs 4 --injections 170
 
 Scales map to the dataset presets of :mod:`repro.data`: ``tiny`` (seconds),
 ``mini`` (default, < 1 min), ``full`` (the paper-scale configuration —
 1012 flip-flops × 170 injections; several minutes on first run, cached
 afterwards).
+
+``--jobs N`` shards the fault-injection campaign across N worker processes
+(results are bit-identical to a serial run); ``--cache-dir`` relocates the
+dataset cache and the campaign result store.  The ``campaign`` command runs
+the parallel campaign engine directly (``stream`` schedule, so repeated runs
+with growing ``--injections`` only simulate the delta) and prints its
+economics.
 """
 
 from __future__ import annotations
@@ -20,7 +28,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from ..data import get_dataset
+from ..campaigns import CampaignEngine, CampaignSpec
+from ..data import DATASET_PRESETS, default_cache_dir, get_dataset
 from .ablation import run_ablation
 from .figures import FIGURE_MODELS, run_figure
 from .future_work import run_future_work
@@ -42,6 +51,46 @@ EXPERIMENTS = [
 ]
 
 
+def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None:
+    """Drive the parallel campaign engine directly and print its economics."""
+    dataset_spec = DATASET_PRESETS[args.scale]
+    spec = CampaignSpec.from_dataset_spec(
+        dataset_spec, schedule="stream", n_injections=args.injections
+    )
+    print(
+        f"=== campaign === circuit={spec.circuit} injections={spec.n_injections} "
+        f"jobs={args.jobs} cache={cache_dir}",
+        flush=True,
+    )
+    engine = CampaignEngine(
+        spec,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        progress=lambda done, total: print(f"  shard {done}/{total}", flush=True),
+    )
+    result = engine.run()
+    report = engine.last_report
+    n_ffs = len(result.results)
+    total_injections = sum(r.n_injections for r in result.results.values())
+    print(f"flip-flops: {n_ffs}, injections: {total_injections}")
+    print(
+        f"forward runs: {result.n_forward_runs} "
+        f"(lane amortization {total_injections / max(1, result.n_forward_runs):.1f}x)"
+    )
+    if report.cache_hit:
+        print("result store: exact snapshot hit, zero forward simulations")
+    else:
+        print(
+            f"result store: reused {report.base_injections} injections/ff, "
+            f"resumed {report.resumed_buckets} buckets, "
+            f"executed {report.executed_forward_runs} forward runs "
+            f"across {report.n_shards} shards"
+        )
+    print(f"mean FDR: {result.mean_fdr():.4f}, wall: {report.wall_seconds:.2f}s")
+    if out_dir is not None:
+        (out_dir / "campaign.json").write_text(result.to_json())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -50,23 +99,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=EXPERIMENTS + ["all"],
-        help="which experiments to run",
+        choices=EXPERIMENTS + ["all", "campaign"],
+        help="which experiments to run ('campaign' drives the parallel "
+        "fault-injection engine directly)",
     )
     parser.add_argument("--scale", default="mini", choices=["tiny", "mini", "full"])
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=None, help="directory for CSV/JSON outputs")
     parser.add_argument("--regenerate", action="store_true", help="ignore the dataset cache")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="campaign worker processes (default: 1, serial)"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="dataset cache + campaign result store location "
+        "(default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
+        "--injections",
+        type=int,
+        default=None,
+        help="campaign command only: override the scale's injections per flip-flop",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.injections is not None and args.injections < 1:
+        parser.error("--injections must be >= 1")
 
-    requested = EXPERIMENTS if "all" in args.experiments else args.experiments
-    print(f"Loading dataset (scale={args.scale}) ...", flush=True)
-    dataset = get_dataset(args.scale, regenerate=args.regenerate)
-    print(f"dataset: {dataset.n_samples} flip-flops x {dataset.n_features} features\n")
-
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
     out_dir = args.out
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
+
+    if "all" in args.experiments:
+        requested = list(EXPERIMENTS)
+    else:
+        requested = [e for e in args.experiments if e != "campaign"]
+    if "campaign" in args.experiments:
+        run_campaign_command(args, cache_dir, out_dir)
+        if not requested:
+            return 0
+        print()
+
+    print(f"Loading dataset (scale={args.scale}) ...", flush=True)
+    dataset = get_dataset(
+        args.scale, cache_dir=cache_dir, regenerate=args.regenerate, jobs=args.jobs
+    )
+    print(f"dataset: {dataset.n_samples} flip-flops x {dataset.n_features} features\n")
 
     for experiment in requested:
         print(f"=== {experiment} ===", flush=True)

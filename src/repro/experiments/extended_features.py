@@ -14,7 +14,7 @@ from typing import Dict
 from ..data import DatasetSpec, build_workload
 from ..features.dataset import Dataset
 from ..features.extended import extend_dataset
-from ..flow.reporting import format_table
+from ..flow.textview import format_table
 from ..ml.model_selection import StratifiedRegressionKFold, cross_validate
 from .common import CV_FOLDS, TRAIN_SIZE, paper_models
 

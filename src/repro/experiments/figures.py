@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..features.dataset import Dataset
-from ..flow.reporting import ascii_series_plot, ascii_xy_plot, series_to_csv
+from ..flow.textview import ascii_series_plot, ascii_xy_plot, series_to_csv
 from ..ml.base import BaseEstimator, clone
 from ..ml.model_selection import (
     LearningCurveResult,

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..features.dataset import Dataset
-from ..flow.reporting import format_table
+from ..flow.textview import format_table
 from ..ml.model_selection import StratifiedRegressionKFold, cross_validate
 from .common import CV_FOLDS, TRAIN_SIZE, future_work_models, paper_models
 

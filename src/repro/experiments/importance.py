@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..features.dataset import Dataset
-from ..flow.reporting import format_table
+from ..flow.textview import format_table
 from ..ml.base import clone
 from ..ml.inspection import PermutationImportanceResult, permutation_importance
 from ..ml.model_selection import train_test_split

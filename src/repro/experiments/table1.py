@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..features.dataset import Dataset
-from ..flow.reporting import format_table
+from ..flow.textview import format_table
 from ..ml.model_selection import StratifiedRegressionKFold, cross_validate
 from .common import CV_FOLDS, PAPER_TABLE1, TRAIN_SIZE, paper_models
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict
 
 from ..features.dataset import Dataset
-from ..flow.reporting import format_table
+from ..flow.textview import format_table
 from ..ml.model_selection import StratifiedRegressionKFold
 from ..ml.neighbors import KNeighborsRegressor
 from ..ml.pipeline import Pipeline

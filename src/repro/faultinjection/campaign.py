@@ -63,6 +63,11 @@ class FlipFlopResult:
 class CampaignResult:
     """Complete campaign record, serializable for caching and reports."""
 
+    #: Serialization schema version written by :meth:`to_payload`.  Bump when
+    #: the payload layout changes; :meth:`from_payload` rejects newer versions
+    #: so stale readers fail loudly instead of misparsing cached results.
+    SCHEMA_VERSION = 1
+
     circuit: str
     n_injections: int
     seed: int
@@ -83,8 +88,11 @@ class CampaignResult:
             return 0.0
         return sum(r.fdr for r in self.results.values()) / len(self.results)
 
-    def to_json(self) -> str:
-        payload = {
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serializable dict form (shared by :meth:`to_json` and the
+        campaign result store)."""
+        return {
+            "version": self.SCHEMA_VERSION,
             "circuit": self.circuit,
             "n_injections": self.n_injections,
             "seed": self.seed,
@@ -96,11 +104,18 @@ class CampaignResult:
                 for name, r in self.results.items()
             },
         }
-        return json.dumps(payload)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload())
 
     @classmethod
-    def from_json(cls, text: str) -> "CampaignResult":
-        payload = json.loads(text)
+    def from_payload(cls, payload: Dict) -> "CampaignResult":
+        version = payload.get("version", 0)
+        if version > cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"campaign result written by a newer schema "
+                f"(version {version} > supported {cls.SCHEMA_VERSION})"
+            )
         result = cls(
             circuit=payload["circuit"],
             n_injections=payload["n_injections"],
@@ -114,6 +129,10 @@ class CampaignResult:
             latency_sum = fields[2] if len(fields) > 2 else 0
             result.results[name] = FlipFlopResult(name, n_inj, n_fail, latency_sum)
         return result
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_payload(json.loads(text))
 
 
 class StatisticalFaultCampaign:

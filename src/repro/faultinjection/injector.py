@@ -21,7 +21,7 @@ ingredients make the paper's full flat campaign tractable:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netlist.core import Netlist
@@ -71,11 +71,7 @@ class BatchOutcome:
     failed_mask: int
     n_lanes: int
     cycles_simulated: int
-    latencies: Dict[int, int] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.latencies is None:
-            self.latencies = {}
+    latencies: Dict[int, int] = field(default_factory=dict)
 
     def failed_lanes(self) -> List[int]:
         return [j for j in range(self.n_lanes) if (self.failed_mask >> j) & 1]

@@ -2,7 +2,7 @@
 
 from .estimation import FdrEstimator, FlowReport, run_reference_flow
 from .report import generate_report
-from .reporting import ascii_series_plot, ascii_xy_plot, format_table, series_to_csv
+from .textview import ascii_series_plot, ascii_xy_plot, format_table, series_to_csv
 
 __all__ = [
     "FdrEstimator",

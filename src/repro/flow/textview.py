@@ -1,0 +1,113 @@
+"""Plain-text reporting: tables and ASCII charts.
+
+The paper presents results as a metric table (Table I) and as
+prediction/error and learning-curve plots (Figs. 2-4).  Running headless,
+this module renders the same artifacts as monospace text and CSV so every
+figure series can be regenerated and inspected without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "ascii_xy_plot", "ascii_series_plot", "series_to_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    border = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(border)
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_xy_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Scatter plot of named (x, y) series using one glyph per series."""
+    glyphs = "ox+*#@%&"
+    all_x = [v for xs, _ in series.values() for v in xs]
+    all_y = [v for _, ys in series.values() for v in ys]
+    if not all_x:
+        return "(empty plot)"
+    x_min, x_max = min(all_x), max(all_x)
+    if y_range is not None:
+        y_min, y_max = y_range
+    else:
+        y_min, y_max = min(all_y), max(all_y)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, (xs, ys)) in zip(glyphs, series.items()):
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            clamped_row = min(max(row, 0), height - 1)
+            grid[height - 1 - clamped_row][min(max(col, 0), width - 1)] = glyph
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_min:.3f}, {y_max:.3f}]  x: [{x_min:.3f}, {x_max:.3f}]")
+    for glyph, name in zip(glyphs, series):
+        lines.append(f"  {glyph} = {name}")
+    lines.append("+" + "-" * width + "+")
+    for row_cells in grid:
+        lines.append("|" + "".join(row_cells) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def ascii_series_plot(
+    x: Sequence[float],
+    named_series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Line-style plot of several y-series over a shared x axis."""
+    series = {name: (list(x), list(ys)) for name, ys in named_series.items()}
+    return ascii_xy_plot(series, width=width, height=height, title=title, y_range=y_range)
+
+
+def series_to_csv(columns: Dict[str, Sequence[object]]) -> str:
+    """Columnar data as CSV text (used to persist figure series)."""
+    names = list(columns)
+    length = max(len(v) for v in columns.values()) if columns else 0
+    lines = [",".join(names)]
+    for i in range(length):
+        row = []
+        for name in names:
+            values = columns[name]
+            row.append(repr(values[i]) if i < len(values) else "")
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,286 @@
+"""Parallel campaign engine tests: schedules, sharding, store, resume.
+
+The load-bearing guarantees:
+
+* a sharded ``legacy``-schedule run merges to a result **bit-identical** to
+  the serial :class:`StatisticalFaultCampaign` reference for the same seed;
+* ``stream``-schedule results are independent of the jobs count;
+* the stream schedule is prefix-stable, so the store can top up a cached
+  campaign by simulating only the injection delta;
+* a cached re-run performs zero forward simulations, and an interrupted run
+  resumes from its checkpoint.
+"""
+
+import pytest
+
+from repro.campaigns import (
+    CampaignEngine,
+    CampaignSpec,
+    CampaignStore,
+    build_context,
+    legacy_buckets,
+    partition_shards,
+    run_campaign,
+    stream_buckets,
+)
+from repro.campaigns.partition import stream_draws, stream_slot_order
+from repro.faultinjection import StatisticalFaultCampaign
+
+TINY = dict(
+    circuit="xgmac_tiny",
+    n_frames=4,
+    min_len=2,
+    max_len=3,
+    gap=12,
+    workload_seed=7,
+)
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    params = dict(TINY, n_injections=8, seed=5, schedule="stream")
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+def result_key(result):
+    """The bit-exactness contract: per-ff counters + engine cost metrics."""
+    return (
+        {
+            name: (r.n_injections, r.n_failures, r.latency_sum)
+            for name, r in result.results.items()
+        },
+        result.n_forward_runs,
+        result.total_lane_cycles,
+    )
+
+
+# ------------------------------------------------------------- scheduling
+
+
+def test_legacy_schedule_matches_serial_reference(
+    tiny_mac, tiny_workload, tiny_golden
+):
+    """Sharded legacy run == StatisticalFaultCampaign, bit for bit."""
+    from repro.faultinjection import PacketInterfaceCriterion
+
+    criterion = PacketInterfaceCriterion(
+        tiny_workload.valid_nets, tiny_workload.data_nets
+    )
+    runner = StatisticalFaultCampaign(
+        tiny_mac,
+        tiny_workload.testbench,
+        criterion,
+        active_window=tiny_workload.active_window,
+        golden=tiny_golden,
+    )
+    reference = runner.run(n_injections=8, seed=5)
+
+    spec = tiny_spec(schedule="legacy")
+    engine = CampaignEngine(spec, jobs=2)
+    parallel = engine.run()
+    assert result_key(parallel) == result_key(reference)
+    assert engine.last_report.executed_forward_runs == reference.n_forward_runs
+
+
+def test_stream_parallel_matches_serial():
+    spec = tiny_spec(n_injections=6)
+    serial = run_campaign(spec, jobs=1)
+    parallel = run_campaign(spec, jobs=3)
+    assert result_key(serial) == result_key(parallel)
+
+
+def test_stream_draws_are_prefix_stable():
+    import random
+
+    spec = tiny_spec()
+    window = list(range(20, 140))
+    stream = stream_slot_order(spec, window)
+    short = stream_draws(stream, random.Random("ff:5:ff_x"), 10)
+    long = stream_draws(stream, random.Random("ff:5:ff_x"), 40)
+    assert long[:10] == short
+    assert len(set(long)) == len(long)  # without replacement
+    assert all(c in window for c in long)
+
+
+def test_stream_draws_density_matches_serial_pool():
+    """Draws concentrate on ~1.5 n slots, like the serial scheduler's pool."""
+    spec = tiny_spec(n_injections=20)
+    window = list(range(0, 500))
+    buckets = stream_buckets(spec, window, [f"ff{i}" for i in range(40)])
+    assert len(buckets) <= 30  # ceil(1.5 * 20), not ~min(500, 40*20)
+
+
+def test_stream_rejects_overdrawn_window():
+    spec = tiny_spec(n_injections=50)
+    with pytest.raises(ValueError, match="without replacement"):
+        stream_buckets(spec, list(range(10)), ["ff0"])
+
+
+def test_legacy_rejects_small_window():
+    spec = tiny_spec(schedule="legacy", n_injections=50)
+    with pytest.raises(ValueError, match="time slots"):
+        legacy_buckets(spec, list(range(20)), ["ff0"])
+
+
+def test_topup_bucket_draws_cover_exactly_the_delta():
+    spec = tiny_spec(n_injections=12)
+    window = list(range(30, 160))
+    ffs = [f"ff{i}" for i in range(7)]
+    full = stream_buckets(spec, window, ffs)
+    head = stream_buckets(spec, window, ffs, stop=5)
+    tail = stream_buckets(spec, window, ffs, start=5)
+
+    def draws(buckets):
+        return sorted(
+            (cycle, name) for b in buckets for cycle, name in [(b.cycle, n) for n in b.lanes]
+        )
+
+    assert sorted(draws(head) + draws(tail)) == draws(full)
+    assert sum(b.n_lanes for b in tail) == len(ffs) * 7
+
+
+# --------------------------------------------------------------- sharding
+
+
+def test_partition_shards_covers_all_buckets_once():
+    spec = tiny_spec(n_injections=10)
+    window = list(range(0, 200))
+    buckets = stream_buckets(spec, window, [f"ff{i}" for i in range(25)])
+    shards = partition_shards(buckets, 4)
+    flattened = sorted(b.cycle for shard in shards for b in shard)
+    assert flattened == sorted(b.cycle for b in buckets)
+    # balanced: no shard dominates (LPT bound)
+    loads = [sum(b.n_lanes for b in shard) for shard in shards]
+    assert max(loads) <= 2 * min(loads)
+    # deterministic
+    assert shards == partition_shards(buckets, 4)
+    # within-shard execution order is by cycle
+    for shard in shards:
+        assert [b.cycle for b in shard] == sorted(b.cycle for b in shard)
+
+
+def test_partition_shards_degenerate_cases():
+    spec = tiny_spec(n_injections=4)
+    buckets = stream_buckets(spec, list(range(50)), ["ff0"])
+    assert partition_shards(buckets, 100) == [[b] for b in buckets]
+    with pytest.raises(ValueError):
+        partition_shards(buckets, 0)
+
+
+# ------------------------------------------------------------------ store
+
+
+def test_store_rerun_is_zero_simulations(tmp_path):
+    spec = tiny_spec(n_injections=6)
+    first = CampaignEngine(spec, cache_dir=tmp_path)
+    result = first.run()
+    assert first.last_report.executed_forward_runs > 0
+
+    second = CampaignEngine(spec, cache_dir=tmp_path)
+    cached = second.run()
+    assert second.last_report.cache_hit
+    assert second.last_report.executed_forward_runs == 0
+    assert result_key(cached) == result_key(result)
+
+
+def test_store_topup_runs_only_the_delta_and_matches_fresh(tmp_path):
+    small = tiny_spec(n_injections=6)
+    engine = CampaignEngine(small, cache_dir=tmp_path)
+    engine.run()
+    full_lanes = engine.last_report.executed_lanes
+
+    big = small.with_injections(12)
+    topup = CampaignEngine(big, cache_dir=tmp_path)
+    extended = topup.run()
+    assert topup.last_report.base_injections == 6
+    assert topup.last_report.executed_lanes == full_lanes  # 6 more per ff
+
+    fresh = run_campaign(big)
+    assert result_key(extended)[0] == result_key(fresh)[0]
+
+
+def test_interrupted_run_resumes_from_checkpoint(tmp_path):
+    spec = tiny_spec(n_injections=8, seed=11)
+
+    class Interrupted(Exception):
+        pass
+
+    def bomb(done, total):
+        if done == 2:
+            raise Interrupted
+
+    engine = CampaignEngine(spec, cache_dir=tmp_path, progress=bomb)
+    with pytest.raises(Interrupted):
+        engine.run()
+
+    resumed = CampaignEngine(spec, cache_dir=tmp_path)
+    result = resumed.run()
+    # every bucket finished before the interrupt was carried over ...
+    assert resumed.last_report.resumed_buckets == engine.last_report.executed_buckets
+    assert resumed.last_report.resumed_buckets > 0
+    # ... and only the remainder was simulated
+    fresh = run_campaign(spec)
+    assert result_key(result)[0] == result_key(fresh)[0]
+
+
+def test_store_family_and_cache_keys():
+    stream6 = tiny_spec(n_injections=6)
+    stream12 = stream6.with_injections(12)
+    assert stream6.family_key() == stream12.family_key()
+    assert stream6.cache_key() != stream12.cache_key()
+
+    legacy6 = tiny_spec(schedule="legacy", n_injections=6)
+    legacy12 = legacy6.with_injections(12)
+    assert legacy6.family_key() != legacy12.family_key()
+    assert stream6.family_key() != legacy6.family_key()
+
+
+def test_store_ignores_corrupt_documents(tmp_path):
+    spec = tiny_spec(n_injections=6)
+    store = CampaignStore(tmp_path)
+    store.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
+    store.path_for(spec).write_text("{not json")
+    assert store.load_exact(spec) is None
+    assert store.best_snapshot(spec) is None
+    assert store.stored_budgets(spec) == []
+
+
+# ----------------------------------------------------------------- engine
+
+
+def test_engine_ff_subset():
+    context = build_context(tiny_spec())
+    subset = tuple(context.netlist.flip_flop_names()[:4])
+    spec = tiny_spec(n_injections=5, ff_names=subset)
+    result = run_campaign(spec)
+    assert set(result.results) == set(subset)
+    assert all(r.n_injections == 5 for r in result.results.values())
+
+
+def test_engine_rejects_bad_parameters():
+    with pytest.raises(ValueError, match="schedule"):
+        tiny_spec(schedule="chaotic")
+    with pytest.raises(ValueError, match="criterion"):
+        tiny_spec(criterion="vibes")
+    with pytest.raises(ValueError, match="n_injections"):
+        tiny_spec(n_injections=0)
+    with pytest.raises(ValueError, match="jobs"):
+        CampaignEngine(tiny_spec(), jobs=0)
+
+
+def test_engine_rejects_mismatched_context():
+    from repro.faultinjection import AnyOutputCriterion
+
+    context = build_context(tiny_spec())
+    wrong_circuit = tiny_spec(circuit="xgmac_mini")
+    with pytest.raises(ValueError, match="does not match"):
+        CampaignEngine(wrong_circuit, context=context)
+
+    context.criterion = AnyOutputCriterion.all_outputs(context.netlist)
+    with pytest.raises(ValueError, match="criterion"):
+        CampaignEngine(tiny_spec(), context=context)
+
+
+def test_spec_dict_round_trip():
+    spec = tiny_spec(ff_names=("ff_a", "ff_b"), horizon=64)
+    assert CampaignSpec.from_dict(spec.to_dict()) == spec

@@ -17,7 +17,8 @@ from repro.faultinjection import (
     required_sample_size,
     wilson_interval,
 )
-from repro.faultinjection.injector import FaultInjector
+from repro.faultinjection.injector import BatchOutcome, FaultInjector
+from repro.netlist import Netlist
 from repro.sim import ScheduleBuilder, Testbench
 from repro.synth import Module, Sig, synthesize, wordlib
 
@@ -88,6 +89,40 @@ def test_relevant_flip_flops_follow_sequential_paths(tiny_mac, tiny_workload):
     assert "ff_tx_state[0]" not in relevant
     # Statistics counters can never affect the packet interface.
     assert not any(name.startswith("ff_stat_") for name in relevant)
+
+
+def test_relevant_flip_flops_empty_observable_set(tiny_mac):
+    assert relevant_flip_flops(tiny_mac, []) == set()
+
+
+def test_relevant_flip_flops_stops_at_undriven_nets():
+    """An undriven net in the cone terminates the walk instead of crashing."""
+    nl = Netlist("undriven")
+    nl.add_input("clk", is_clock=True)
+    nl.add_cell("ff_a", "DFF_X1", {"D": "floating", "CK": "clk", "Q": "q_a"})
+    nl.add_cell("g_and", "AND2_X1", {"A": "q_a", "B": "also_floating", "Z": "obs"})
+    nl.add_output("obs")
+    relevant = relevant_flip_flops(nl, ["obs"])
+    assert relevant == {"ff_a"}
+
+
+def test_relevant_flip_flops_handles_self_loop():
+    """A flip-flop feeding its own D pin must not loop the traversal."""
+    nl = Netlist("selfloop")
+    nl.add_input("clk", is_clock=True)
+    nl.add_cell("g_inv", "INV_X1", {"A": "q_t", "Z": "d_t"})
+    nl.add_cell("ff_t", "DFF_X1", {"D": "d_t", "CK": "clk", "Q": "q_t"})
+    nl.add_output("q_t")
+    relevant = relevant_flip_flops(nl, ["q_t"])
+    assert relevant == {"ff_t"}
+
+
+def test_batch_outcome_latencies_default_is_per_instance():
+    a = BatchOutcome(failed_mask=0, n_lanes=2, cycles_simulated=5)
+    b = BatchOutcome(failed_mask=1, n_lanes=1, cycles_simulated=3)
+    assert a.latencies == {} and b.latencies == {}
+    a.latencies[0] = 7
+    assert b.latencies == {}  # no shared mutable default
 
 
 # --------------------------------------------------------- injector

@@ -81,6 +81,18 @@ def test_campaign_cost_saving(tiny_dataset):
     assert savings20["cost_reduction_factor"] == pytest.approx(5.0, rel=0.05)
 
 
+def test_reporting_module_is_deprecated_alias():
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.flow.reporting", None)
+    with pytest.warns(DeprecationWarning, match="textview"):
+        module = importlib.import_module("repro.flow.reporting")
+    from repro.flow.textview import format_table
+
+    assert module.format_table is format_table
+
+
 # ------------------------------------------------------------- reporting
 
 
@@ -123,3 +135,19 @@ def test_generate_report(tiny_dataset):
         assert f"## {figure}" in text
     assert "Shape holds" in text
     assert "Campaign economics" in text
+    assert "Engine cost" not in text
+
+
+def test_generate_report_with_campaign_economics(tiny_dataset, tiny_campaign):
+    from repro.flow import generate_report
+
+    _runner, campaign = tiny_campaign
+    text = generate_report(
+        tiny_dataset,
+        cv_folds=3,
+        curve_sizes=[0.5],
+        include_future_work=False,
+        campaign=campaign,
+    )
+    assert "Engine cost" in text
+    assert f"{campaign.n_forward_runs} forward simulations" in text

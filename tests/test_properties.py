@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.faultinjection import wilson_interval
+from repro.faultinjection import CampaignResult, FlipFlopResult, wilson_interval
 from repro.netlist import DEFAULT_LIBRARY
 from repro.sim import CompiledSimulator, eval3, lane_mask
 from repro.sim.logic import X, broadcast, extract_lane, popcount
@@ -141,6 +141,58 @@ def test_wilson_interval_contains_point_estimate(trials, successes):
     # More trials shrink the interval.
     low2, high2 = wilson_interval(successes * 2, trials * 2)
     assert (high2 - low2) <= (high - low) + 1e-12
+
+
+# ------------------------------------------------- result schema round trip
+
+
+_ff_results = st.dictionaries(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12
+    ),
+    st.tuples(st.integers(0, 500), st.integers(0, 500), st.integers(0, 10_000)),
+    max_size=8,
+)
+
+
+@given(
+    ffs=_ff_results,
+    n_injections=st.integers(1, 500),
+    seed=st.integers(0, 2**31),
+    n_forward_runs=st.integers(0, 10_000),
+    total_lane_cycles=st.integers(0, 10**9),
+)
+@settings(max_examples=60, deadline=None)
+def test_campaign_result_json_round_trip(
+    ffs, n_injections, seed, n_forward_runs, total_lane_cycles
+):
+    """to_json/from_json is the identity on every field the store relies on."""
+    result = CampaignResult(
+        circuit="prop", n_injections=n_injections, seed=seed,
+        n_forward_runs=n_forward_runs, total_lane_cycles=total_lane_cycles,
+    )
+    for name, (inj, fail, lat) in ffs.items():
+        fail = min(fail, inj)
+        result.results[name] = FlipFlopResult(name, inj, fail, lat)
+    payload = result.to_payload()
+    assert payload["version"] == CampaignResult.SCHEMA_VERSION
+    restored = CampaignResult.from_json(result.to_json())
+    assert restored == result
+
+
+def test_campaign_result_rejects_newer_schema():
+    result = CampaignResult(circuit="c", n_injections=1, seed=0)
+    payload = result.to_payload()
+    payload["version"] = CampaignResult.SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="newer schema"):
+        CampaignResult.from_payload(payload)
+
+
+def test_campaign_result_reads_versionless_legacy_payload():
+    payload = {"circuit": "c", "n_injections": 2, "seed": 0, "results": {"ff": [2, 1]}}
+    restored = CampaignResult.from_payload(payload)
+    assert restored.results["ff"].n_failures == 1
+    assert restored.results["ff"].latency_sum == 0
 
 
 # ----------------------------------------------------- dataset invariants
