@@ -1,0 +1,97 @@
+"""Benchmark: differential-verification throughput.
+
+Tracks how fast the cross-backend agreement harness runs — comparisons per
+second across the compiled/event/oracle triple plus injector-vs-brute-force
+replays — so regressions in any engine (or in the harness itself) show up as
+a throughput drop.  Run standalone for the full sweep::
+
+    python benchmarks/bench_verify.py --scale mini --seeds 20
+
+or through pytest-benchmark with the rest of the suite (tiny scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.verify import FUZZ_SCALES, verify_seeds
+
+
+def run_sweep(scale: str, n_seeds: int) -> Dict:
+    """Verify *n_seeds* fuzzed circuits; fail hard on any divergence."""
+    start = time.perf_counter()
+    summary = verify_seeds(n_seeds, scale=scale)
+    wall = time.perf_counter() - start
+    if not summary.ok:
+        raise AssertionError(
+            f"divergence during benchmark, seeds "
+            f"{[r.seed for r in summary.failing]}"
+        )
+    return {
+        "scale": scale,
+        "seeds": n_seeds,
+        "comparisons": summary.n_comparisons,
+        "injections_checked": summary.n_injections_checked,
+        "wall_seconds": round(wall, 3),
+        "comparisons_per_second": round(summary.n_comparisons / max(wall, 1e-9)),
+        "seeds_per_second": round(n_seeds / max(wall, 1e-9), 2),
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="mini", choices=sorted(FUZZ_SCALES))
+    parser.add_argument("--seeds", type=int, default=20)
+    parser.add_argument("--out", default=None, help="write the result as JSON")
+    args = parser.parse_args(argv)
+
+    row = run_sweep(args.scale, args.seeds)
+    print(
+        f"scale={row['scale']} seeds={row['seeds']}: "
+        f"{row['comparisons']:,} comparisons + "
+        f"{row['injections_checked']} injector replays "
+        f"in {row['wall_seconds']}s "
+        f"({row['comparisons_per_second']:,}/s, {row['seeds_per_second']} seeds/s)"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(row, fh, indent=2)
+    return 0
+
+
+# ------------------------------------------------------------ pytest hooks
+
+
+def test_bench_verify_throughput(benchmark):
+    row = benchmark.pedantic(
+        lambda: run_sweep("tiny", 10), rounds=1, iterations=1
+    )
+    assert row["comparisons"] > 0
+    assert row["injections_checked"] > 0
+
+
+def test_bench_verify_oracle_only(benchmark):
+    """Oracle settle cost in isolation (it bounds harness throughput)."""
+    from repro.verify import OracleSimulator, generate_netlist
+
+    spec = FUZZ_SCALES["mini"].with_seed(7)
+    netlist = generate_netlist(spec)
+    oracle = OracleSimulator(netlist)
+    oracle.reset()
+
+    def settle_many():
+        for i in range(200):
+            oracle.set_input("in0", i & 1)
+            oracle.eval_comb()
+            oracle.tick()
+        return True
+
+    assert benchmark.pedantic(settle_many, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

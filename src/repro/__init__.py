@@ -34,6 +34,9 @@ The package is organized bottom-up, mirroring the paper's flow (Fig. 1):
     future-work, ablation and tuning extensions.
 ``repro.data``
     Cached dataset generation at three scales (tiny / mini / full).
+``repro.verify``
+    Differential verification: seeded circuit fuzzer, independent
+    reference oracle, cross-backend diff harness with shrinking.
 """
 
 from . import (
@@ -47,10 +50,11 @@ from . import (
     netlist,
     sim,
     synth,
+    verify,
 )
 from .data import DATASET_PRESETS, DatasetSpec, generate_dataset, get_dataset
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "campaigns",
@@ -63,6 +67,7 @@ __all__ = [
     "netlist",
     "sim",
     "synth",
+    "verify",
     "DATASET_PRESETS",
     "DatasetSpec",
     "generate_dataset",

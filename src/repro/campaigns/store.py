@@ -42,6 +42,12 @@ class CampaignStore:
     # ----------------------------------------------------------------- io
 
     def _read(self, spec: CampaignSpec) -> Optional[Dict]:
+        """Parse the shard for *spec*; ``None`` for any unusable document.
+
+        A truncated or hand-edited shard must never crash a campaign — the
+        engine treats ``None`` as "nothing cached" and recomputes — so shape
+        is validated here along with JSON well-formedness.
+        """
         path = self.path_for(spec)
         if not path.exists():
             return None
@@ -49,9 +55,16 @@ class CampaignStore:
             doc = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             return None
+        if not isinstance(doc, dict):
+            return None
         if doc.get("store_version", 0) > STORE_VERSION:
             return None
         if doc.get("family") != spec.family_key():
+            return None
+        if not isinstance(doc.get("snapshots"), dict):
+            return None
+        partial = doc.get("partial")
+        if partial is not None and not isinstance(partial, dict):
             return None
         return doc
 
@@ -83,11 +96,11 @@ class CampaignStore:
         if doc is None:
             return None
         payload = doc["snapshots"].get(str(spec.n_injections))
-        if payload is None:
+        if not isinstance(payload, dict):
             return None
         try:
             return CampaignResult.from_payload(payload)
-        except (KeyError, ValueError):
+        except (KeyError, ValueError, TypeError, AttributeError, IndexError):
             return None
 
     def best_snapshot(
@@ -102,13 +115,20 @@ class CampaignStore:
         if doc is None:
             return None
         candidates = sorted(
-            (int(n) for n in doc["snapshots"] if int(n) <= spec.n_injections),
+            (
+                int(n)
+                for n in doc["snapshots"]
+                if str(n).isdigit() and int(n) <= spec.n_injections
+            ),
             reverse=True,
         )
         for n in candidates:
+            payload = doc["snapshots"][str(n)]
+            if not isinstance(payload, dict):
+                continue
             try:
-                return n, CampaignResult.from_payload(doc["snapshots"][str(n)])
-            except (KeyError, ValueError):
+                return n, CampaignResult.from_payload(payload)
+            except (KeyError, ValueError, TypeError, AttributeError, IndexError):
                 continue
         return None
 
@@ -140,7 +160,33 @@ class CampaignStore:
             return None
         if partial.get("base") != base or partial.get("target") != target:
             return None
-        return set(partial["done_cycles"]), partial["accum"]
+        done_cycles = partial.get("done_cycles")
+        accum = partial.get("accum")
+        if not isinstance(done_cycles, list) or not isinstance(accum, dict):
+            return None
+        # Bucket cycles must be plain ints: non-hashable elements would crash
+        # set(), and mistyped ones (e.g. "3") would silently miss the engine's
+        # done-bucket filter and double-count resumed work.
+        if not all(type(c) is int for c in done_cycles):
+            return None
+        # The accumulator's ff records must be [inj, fail, latency] triples of
+        # numbers and its engine-level metrics numeric; anything else means a
+        # damaged checkpoint — drop it and let the engine recompute rather
+        # than resume into a crash.
+        ff = accum.get("ff")
+        if not isinstance(ff, dict):
+            return None
+        for record in ff.values():
+            if (
+                not isinstance(record, list)
+                or len(record) != 3
+                or not all(isinstance(v, (int, float)) for v in record)
+            ):
+                return None
+        for key in ("n_forward_runs", "total_lane_cycles", "wall_seconds"):
+            if key in accum and not isinstance(accum[key], (int, float)):
+                return None
+        return set(done_cycles), accum
 
     def save_partial(
         self,
@@ -171,4 +217,4 @@ class CampaignStore:
         doc = self._read(spec)
         if doc is None:
             return []
-        return sorted(int(n) for n in doc["snapshots"])
+        return sorted(int(n) for n in doc["snapshots"] if str(n).isdigit())

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig2 fig3 fig4 --scale full --out results/
     python -m repro.experiments all --scale tiny --jobs 4
     python -m repro.experiments campaign --scale mini --jobs 4 --injections 170
+    python -m repro.experiments verify --seeds 50 --scale mini
 
 Scales map to the dataset presets of :mod:`repro.data`: ``tiny`` (seconds),
 ``mini`` (default, < 1 min), ``full`` (the paper-scale configuration —
@@ -18,6 +19,11 @@ dataset cache and the campaign result store.  The ``campaign`` command runs
 the parallel campaign engine directly (``stream`` schedule, so repeated runs
 with growing ``--injections`` only simulate the delta) and prints its
 economics.
+
+The ``verify`` command fuzzes ``--seeds`` random circuits and cross-checks
+the compiled simulator, the event-driven simulator, the reference oracle and
+the fault injector on each (see :mod:`repro.verify`); any divergence makes
+the command exit non-zero and prints the reproducing seed.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from typing import List, Optional
 
 from ..campaigns import CampaignEngine, CampaignSpec
 from ..data import DATASET_PRESETS, default_cache_dir, get_dataset
+from ..verify import verify_seeds
 from .ablation import run_ablation
 from .figures import FIGURE_MODELS, run_figure
 from .future_work import run_future_work
@@ -91,6 +98,54 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
         (out_dir / "campaign.json").write_text(result.to_json())
 
 
+def run_verify_command(args, out_dir: Optional[Path]) -> int:
+    """Sweep fuzz seeds through the differential harness; 0 = all agree."""
+    print(
+        f"=== verify === seeds={args.seeds} (base {args.seed}) scale={args.scale}",
+        flush=True,
+    )
+
+    def progress(done: int, total: int, report) -> None:
+        status = "ok" if report.ok else "DIVERGED"
+        print(
+            f"  seed {report.seed}: {report.n_cells} cells, {report.n_ffs} FFs, "
+            f"{report.comparisons} comparisons, "
+            f"{report.injections_checked} injections — {status}",
+            flush=True,
+        )
+
+    summary = verify_seeds(
+        args.seeds, scale=args.scale, seed_base=args.seed, progress=progress
+    )
+    print(
+        f"checked {summary.n_seeds} circuits: {summary.n_comparisons} cross-backend "
+        f"comparisons, {summary.n_injections_checked} injector replays "
+        f"in {summary.wall_seconds:.2f}s "
+        f"({summary.comparisons_per_second():,.0f} comparisons/s)"
+    )
+    if out_dir is not None:
+        payload = {
+            "n_seeds": summary.n_seeds,
+            "n_comparisons": summary.n_comparisons,
+            "n_injections_checked": summary.n_injections_checked,
+            "wall_seconds": summary.wall_seconds,
+            "failing_seeds": [r.seed for r in summary.failing],
+        }
+        (out_dir / "verify.json").write_text(json.dumps(payload, indent=2))
+    if not summary.ok:
+        for report in summary.failing:
+            for divergence in report.divergences:
+                print(f"  seed {report.seed}: {divergence}")
+        print(
+            "DIVERGENCE — reproduce with "
+            f"`python -m repro.experiments verify --seeds 1 "
+            f"--seed {summary.failing[0].seed} --scale {args.scale}`"
+        )
+        return 1
+    print("all backends agree")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -99,9 +154,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=EXPERIMENTS + ["all", "campaign"],
+        choices=EXPERIMENTS + ["all", "campaign", "verify"],
         help="which experiments to run ('campaign' drives the parallel "
-        "fault-injection engine directly)",
+        "fault-injection engine directly; 'verify' differential-tests the "
+        "simulation backends on fuzzed circuits)",
     )
     parser.add_argument("--scale", default="mini", choices=["tiny", "mini", "full"])
     parser.add_argument("--seed", type=int, default=0)
@@ -123,11 +179,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="campaign command only: override the scale's injections per flip-flop",
     )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=25,
+        help="verify command only: number of fuzzed circuits to cross-check "
+        "(seeds --seed .. --seed + N - 1)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.injections is not None and args.injections < 1:
         parser.error("--injections must be >= 1")
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
 
     cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
     out_dir = args.out
@@ -137,7 +202,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if "all" in args.experiments:
         requested = list(EXPERIMENTS)
     else:
-        requested = [e for e in args.experiments if e != "campaign"]
+        requested = [e for e in args.experiments if e not in ("campaign", "verify")]
+    if "verify" in args.experiments:
+        status = run_verify_command(args, out_dir)
+        if status != 0:
+            return status
+        if not requested and "campaign" not in args.experiments:
+            return 0
+        print()
     if "campaign" in args.experiments:
         run_campaign_command(args, cache_dir, out_dir)
         if not requested:

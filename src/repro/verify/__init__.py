@@ -1,0 +1,54 @@
+"""Differential verification: circuit fuzzer, reference oracle, diff harness.
+
+The campaign results rest on the claim that the fast bit-parallel compiled
+simulator agrees with an HDL-style reference simulation.  This package turns
+that claim into an executable property: seeded random netlists over the
+whole cell library (:mod:`~repro.verify.fuzzer`), a tiny independent
+interpreter that shares no code with either backend
+(:mod:`~repro.verify.oracle`), and a harness that cross-checks all three
+engines plus the fault injector and pinpoints the first divergence
+(:mod:`~repro.verify.diff`).
+"""
+
+from .diff import (
+    Divergence,
+    SeedReport,
+    VerifySummary,
+    brute_force_seu,
+    run_event_differential,
+    run_injector_check,
+    run_lane_differential,
+    verify_seed,
+    verify_seeds,
+)
+from .fuzzer import (
+    FUZZ_SCALES,
+    FuzzSpec,
+    generate_netlist,
+    generate_schedule,
+    generate_testbench,
+    rebuild_netlist,
+    shrink_netlist,
+)
+from .oracle import ORACLE_FUNCTIONS, OracleSimulator
+
+__all__ = [
+    "Divergence",
+    "SeedReport",
+    "VerifySummary",
+    "brute_force_seu",
+    "run_event_differential",
+    "run_injector_check",
+    "run_lane_differential",
+    "verify_seed",
+    "verify_seeds",
+    "FUZZ_SCALES",
+    "FuzzSpec",
+    "generate_netlist",
+    "generate_schedule",
+    "generate_testbench",
+    "rebuild_netlist",
+    "shrink_netlist",
+    "ORACLE_FUNCTIONS",
+    "OracleSimulator",
+]

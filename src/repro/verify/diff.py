@@ -1,0 +1,422 @@
+"""Differential verification harness.
+
+Runs the two production simulation backends and the independent reference
+oracle on identical fuzzed stimulus and reports the *first divergence* as a
+(net, cycle, per-backend values) record:
+
+* **lane differential** — :class:`~repro.sim.compiled.CompiledSimulator`
+  with several bit-parallel lanes, each lane carrying a *different* random
+  stimulus stream, checked net-by-net and cycle-by-cycle against one
+  :class:`~repro.verify.oracle.OracleSimulator` per lane.  This covers both
+  the generated gate code and lane independence of the bit-parallel trick;
+* **event differential** — :class:`~repro.sim.event.EventDrivenSimulator`
+  driven by an explicit clock waveform, compared against the oracle on every
+  net whose three-valued value has resolved (X before reset is expected and
+  skipped, a resolved-but-different value is a divergence);
+* **metamorphic fault-injection check** — every verdict of
+  :meth:`~repro.faultinjection.injector.FaultInjector.run_batch` (with its
+  lane packing, early retirement and reactive loopback replay) is replayed
+  as a single-lane brute-force oracle re-simulation that uses none of those
+  optimisations; verdict or error-latency mismatches are divergences.
+
+``verify_seed``/``verify_seeds`` tie the three together over fuzzed circuits
+and are what ``python -m repro.experiments verify`` and the CI fuzz stage
+drive.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..faultinjection.classify import AnyOutputCriterion
+from ..faultinjection.injector import FaultInjector
+from ..netlist.core import Netlist
+from ..sim.compiled import CompiledSimulator
+from ..sim.event import EventDrivenSimulator
+from ..sim.logic import ONE, X, ZERO
+from ..sim.testbench import GoldenTrace, Testbench
+from .fuzzer import (
+    CLOCK_NET,
+    FUZZ_SCALES,
+    FuzzSpec,
+    generate_netlist,
+    generate_schedule,
+    generate_testbench,
+)
+from .oracle import OracleSimulator
+
+__all__ = [
+    "Divergence",
+    "SeedReport",
+    "VerifySummary",
+    "run_lane_differential",
+    "run_event_differential",
+    "run_injector_check",
+    "brute_force_seu",
+    "verify_seed",
+    "verify_seeds",
+]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point where two engines disagree on one fuzzed circuit.
+
+    ``values`` maps an engine label (``"compiled"``, ``"event"``,
+    ``"oracle"``, ``"injector"``, ``"bruteforce"``) to the value it saw.
+    ``net`` is ``None`` for whole-run disagreements (injection verdicts).
+    """
+
+    kind: str
+    cycle: int
+    net: Optional[str]
+    values: Dict[str, object]
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"net {self.net!r} " if self.net else ""
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.values.items()))
+        return f"[{self.kind}] {where}cycle {self.cycle}: {pairs} {self.detail}"
+
+
+@dataclass
+class SeedReport:
+    """Outcome of all differential checks for one fuzz seed."""
+
+    seed: int
+    n_cells: int
+    n_ffs: int
+    n_cycles: int
+    comparisons: int = 0
+    injections_checked: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+@dataclass
+class VerifySummary:
+    """Aggregate over a seed sweep (what the CLI and benchmark report)."""
+
+    n_seeds: int = 0
+    n_comparisons: int = 0
+    n_injections_checked: int = 0
+    wall_seconds: float = 0.0
+    failing: List[SeedReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failing
+
+    def comparisons_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.n_comparisons / self.wall_seconds
+
+
+# ----------------------------------------------------------- lane differential
+
+
+def _comparable_nets(netlist: Netlist) -> List[str]:
+    """Nets worth comparing: everything except the clock roots."""
+    clocks = set(netlist.clocks)
+    return [name for name in netlist.nets if name not in clocks]
+
+
+def run_lane_differential(
+    netlist: Netlist,
+    spec: FuzzSpec,
+    n_lanes: int = 3,
+    stop_at_first: bool = True,
+) -> Tuple[List[Divergence], int]:
+    """Compiled simulator (one stimulus per lane) vs. one oracle per lane.
+
+    Returns ``(divergences, comparisons)``; with ``stop_at_first`` the run
+    ends at the first mismatching (net, cycle, lane).
+    """
+    schedules = [generate_schedule(netlist, spec, lane=j) for j in range(n_lanes)]
+    compiled = CompiledSimulator(netlist, n_lanes=n_lanes)
+    compiled.reset()
+    oracles = [OracleSimulator(netlist) for _ in range(n_lanes)]
+    for oracle in oracles:
+        oracle.reset()
+
+    nets = _comparable_nets(netlist)
+    input_names = list(netlist.inputs)
+    divergences: List[Divergence] = []
+    comparisons = 0
+    for cycle in range(spec.n_cycles):
+        for i, name in enumerate(input_names):
+            if name == CLOCK_NET:
+                continue
+            lanes_value = 0
+            for j in range(n_lanes):
+                bit = (schedules[j][cycle] >> i) & 1
+                lanes_value |= bit << j
+                oracles[j].set_input(name, bit)
+            compiled.set_input_lanes(name, lanes_value)
+        compiled.eval_comb()
+        for oracle in oracles:
+            oracle.eval_comb()
+        for name in nets:
+            packed = compiled.get(name)
+            for j in range(n_lanes):
+                comparisons += 1
+                got = (packed >> j) & 1
+                want = oracles[j].values[name]
+                if got != want:
+                    divergences.append(
+                        Divergence(
+                            kind="compiled-vs-oracle",
+                            cycle=cycle,
+                            net=name,
+                            values={"compiled": got, "oracle": want},
+                            detail=f"lane {j} of {n_lanes}",
+                        )
+                    )
+                    if stop_at_first:
+                        return divergences, comparisons
+        compiled.tick()
+        for oracle in oracles:
+            oracle.tick()
+    return divergences, comparisons
+
+
+# ---------------------------------------------------------- event differential
+
+
+def run_event_differential(
+    netlist: Netlist,
+    spec: FuzzSpec,
+    stop_at_first: bool = True,
+) -> Tuple[List[Divergence], int]:
+    """Event-driven engine vs. oracle on the lane-0 stimulus.
+
+    The event engine starts every net at X (power-up before reset); a net is
+    only compared once its value has resolved to 0/1.  A resolved value that
+    disagrees with the oracle is a divergence — exact X-propagation can only
+    resolve to the value every binary completion agrees on, and the oracle's
+    all-zero power-up is one such completion.
+    """
+    schedule = generate_schedule(netlist, spec, lane=0)
+    event = EventDrivenSimulator(netlist)
+    oracle = OracleSimulator(netlist)
+    oracle.reset()
+
+    # Unit-delay settling needs one time unit per logic level; size the clock
+    # period so each half-period covers the deepest cone with slack.
+    depth = netlist.stats().max_logic_depth
+    half = depth + 6
+    period = 2 * half
+
+    nets = _comparable_nets(netlist)
+    input_names = [n for n in netlist.inputs if n != CLOCK_NET]
+    input_bit = {n: i for i, n in enumerate(netlist.inputs)}
+    divergences: List[Divergence] = []
+    comparisons = 0
+    for cycle in range(spec.n_cycles):
+        t_base = cycle * period
+        event.schedule(t_base, CLOCK_NET, ZERO)
+        for name in input_names:
+            bit = (schedule[cycle] >> input_bit[name]) & 1
+            event.schedule(t_base, name, ONE if bit else ZERO)
+            oracle.set_input(name, bit)
+        event.run_until(t_base + half - 1)
+        oracle.eval_comb()
+        for name in nets:
+            resolved = event.values[name]
+            if resolved == X:
+                continue
+            comparisons += 1
+            if resolved != oracle.values[name]:
+                divergences.append(
+                    Divergence(
+                        kind="event-vs-oracle",
+                        cycle=cycle,
+                        net=name,
+                        values={"event": resolved, "oracle": oracle.values[name]},
+                    )
+                )
+                if stop_at_first:
+                    return divergences, comparisons
+        event.schedule(t_base + half, CLOCK_NET, ONE)
+        event.run_until(t_base + period - 1)
+        oracle.tick()
+    return divergences, comparisons
+
+
+# ------------------------------------------------------- metamorphic injector
+
+
+def brute_force_seu(
+    netlist: Netlist,
+    testbench: Testbench,
+    golden: GoldenTrace,
+    cycle: int,
+    ff_index: int,
+) -> Tuple[bool, Optional[int]]:
+    """Single-lane oracle re-simulation of one SEU, no shortcuts.
+
+    Replays the golden open-loop stimulus, feeds loopback targets from the
+    *faulty* run's own outputs, and reports ``(failed, latency)`` under the
+    any-output-deviation criterion.  Used as the referee for
+    :meth:`FaultInjector.run_batch`.
+    """
+    oracle = OracleSimulator(netlist)
+    out_bit = {n: i for i, n in enumerate(netlist.outputs)}
+    taps: List[Tuple[str, str, int, List[int]]] = []
+    loop_targets = set()
+    for path in testbench.loopbacks:
+        for src, dst in zip(path.sources, path.targets):
+            slots = [0] * path.delay
+            for past in range(cycle - path.delay, cycle):
+                if past >= 0:
+                    slots[past % path.delay] = (golden.outputs[past] >> out_bit[src]) & 1
+            taps.append((src, dst, path.delay, slots))
+            loop_targets.add(dst)
+
+    oracle.load_ff_state_packed(golden.ff_state[cycle])
+    oracle.flip_ff(ff_index)
+    for c in range(cycle, golden.n_cycles):
+        vector = golden.applied_inputs[c]
+        for i, name in enumerate(testbench.input_names):
+            if name not in loop_targets:
+                oracle.set_input(name, (vector >> i) & 1)
+        for _src, dst, delay, slots in taps:
+            oracle.set_input(dst, slots[c % delay])
+        oracle.eval_comb()
+        if oracle.output_vector() != golden.outputs[c]:
+            return True, c - cycle
+        for src, _dst, delay, slots in taps:
+            slots[c % delay] = oracle.values[src]
+        oracle.tick()
+    return False, None
+
+
+def run_injector_check(
+    netlist: Netlist,
+    spec: FuzzSpec,
+    n_injection_cycles: int = 3,
+    stop_at_first: bool = True,
+) -> Tuple[List[Divergence], int]:
+    """Replay ``FaultInjector.run_batch`` verdicts against brute force.
+
+    Every flip-flop is injected (one lane each) at a handful of cycles drawn
+    deterministically from the spec seed; the bit-parallel batch verdict and
+    error latency must match the oracle's single-lane re-simulation exactly.
+    """
+    testbench = generate_testbench(netlist, spec)
+    golden = testbench.run_golden()
+    criterion = AnyOutputCriterion.all_outputs(netlist)
+    injector = FaultInjector(netlist, testbench, golden, criterion, check_interval=4)
+
+    rng = random.Random(f"inject:{spec.seed}")
+    first = min(2, golden.n_cycles - 1)
+    candidates = list(range(first, golden.n_cycles))
+    cycles = sorted(rng.sample(candidates, min(n_injection_cycles, len(candidates))))
+    flip_flops = netlist.flip_flops()
+    ff_indices = list(range(len(flip_flops)))
+
+    divergences: List[Divergence] = []
+    checked = 0
+    for cycle in cycles:
+        outcome = injector.run_batch(cycle, ff_indices)
+        for lane, ff_idx in enumerate(ff_indices):
+            checked += 1
+            batch_failed = bool((outcome.failed_mask >> lane) & 1)
+            batch_latency = outcome.latencies.get(lane)
+            ref_failed, ref_latency = brute_force_seu(
+                netlist, testbench, golden, cycle, ff_idx
+            )
+            ff_name = flip_flops[ff_idx].name
+            if batch_failed != ref_failed:
+                divergences.append(
+                    Divergence(
+                        kind="injector-vs-bruteforce",
+                        cycle=cycle,
+                        net=ff_name,
+                        values={"injector": batch_failed, "bruteforce": ref_failed},
+                        detail="failure verdict mismatch",
+                    )
+                )
+            elif batch_failed and batch_latency != ref_latency:
+                divergences.append(
+                    Divergence(
+                        kind="injector-vs-bruteforce",
+                        cycle=cycle,
+                        net=ff_name,
+                        values={"injector": batch_latency, "bruteforce": ref_latency},
+                        detail="error latency mismatch",
+                    )
+                )
+            if divergences and stop_at_first:
+                return divergences, checked
+    return divergences, checked
+
+
+# ------------------------------------------------------------------ seed sweep
+
+
+def verify_seed(
+    spec: FuzzSpec,
+    with_event: bool = True,
+    with_injector: bool = True,
+    n_lanes: int = 3,
+) -> SeedReport:
+    """Run every differential check on one fuzzed circuit."""
+    netlist = generate_netlist(spec)
+    stats = netlist.stats()
+    report = SeedReport(
+        seed=spec.seed,
+        n_cells=stats.n_cells,
+        n_ffs=stats.n_sequential,
+        n_cycles=spec.n_cycles,
+    )
+    divergences, comparisons = run_lane_differential(netlist, spec, n_lanes=n_lanes)
+    report.divergences.extend(divergences)
+    report.comparisons += comparisons
+    if with_event:
+        divergences, comparisons = run_event_differential(netlist, spec)
+        report.divergences.extend(divergences)
+        report.comparisons += comparisons
+    if with_injector:
+        divergences, checked = run_injector_check(netlist, spec)
+        report.divergences.extend(divergences)
+        report.injections_checked = checked
+    return report
+
+
+def verify_seeds(
+    n_seeds: int,
+    scale: str = "mini",
+    seed_base: int = 0,
+    spec: Optional[FuzzSpec] = None,
+    progress=None,
+) -> VerifySummary:
+    """Sweep ``seed_base .. seed_base + n_seeds - 1`` at the given scale."""
+    if spec is None:
+        try:
+            spec = FUZZ_SCALES[scale]
+        except KeyError:
+            raise ValueError(
+                f"unknown fuzz scale {scale!r}; pick one of {sorted(FUZZ_SCALES)}"
+            ) from None
+    summary = VerifySummary()
+    start = time.monotonic()
+    for offset in range(n_seeds):
+        seed = seed_base + offset
+        report = verify_seed(replace(spec, seed=seed))
+        summary.n_seeds += 1
+        summary.n_comparisons += report.comparisons
+        summary.n_injections_checked += report.injections_checked
+        if not report.ok:
+            summary.failing.append(report)
+        if progress is not None:
+            progress(offset + 1, n_seeds, report)
+    summary.wall_seconds = time.monotonic() - start
+    return summary

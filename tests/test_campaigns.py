@@ -245,6 +245,159 @@ def test_store_ignores_corrupt_documents(tmp_path):
     assert store.stored_budgets(spec) == []
 
 
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "",  # empty file
+        "[1, 2, 3]",  # valid JSON, wrong top-level type
+        '{"store_version": 1}',  # missing family/snapshots
+        '{"store_version": 1, "family": "FAMILY", "snapshots": [1]}',
+        '{"store_version": 1, "family": "FAMILY", "snapshots": {"x": 1},'
+        ' "partial": "broken"}',
+    ],
+    ids=["empty", "wrong-type", "missing-keys", "bad-snapshots", "bad-partial"],
+)
+def test_store_tolerates_malformed_shards(tmp_path, payload):
+    """Any unusable shard reads as 'nothing cached' instead of crashing."""
+    spec = tiny_spec(n_injections=6)
+    store = CampaignStore(tmp_path)
+    store.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
+    store.path_for(spec).write_text(payload.replace("FAMILY", spec.family_key()))
+    assert store.load_exact(spec) is None
+    assert store.best_snapshot(spec) is None
+    assert store.load_partial(spec, 0, 6) is None
+    assert store.stored_budgets(spec) == []
+
+
+def test_store_skips_undecodable_snapshot_payload(tmp_path):
+    """A snapshot whose payload no longer parses is skipped by both loaders
+    (the budget stays listed in the inventory, but nothing crashes)."""
+    spec = tiny_spec(n_injections=6)
+    store = CampaignStore(tmp_path)
+    store.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
+    store.path_for(spec).write_text(
+        '{"store_version": 1, "family": "%s",'
+        ' "snapshots": {"6": {"bogus": true}}, "partial": null}'
+        % spec.family_key()
+    )
+    assert store.load_exact(spec) is None
+    assert store.best_snapshot(spec) is None
+    assert store.stored_budgets(spec) == [6]
+
+
+def test_store_tolerates_truncated_shard_and_recomputes(tmp_path):
+    """A shard cut off mid-write is skipped and the campaign recomputed."""
+    spec = tiny_spec(n_injections=6)
+    engine = CampaignEngine(spec, cache_dir=tmp_path)
+    result = engine.run()
+
+    store = CampaignStore(tmp_path / "campaigns")
+    path = store.path_for(spec)
+    assert path.exists()
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])  # truncate mid-document
+
+    recovered = CampaignEngine(spec, cache_dir=tmp_path)
+    recomputed = recovered.run()
+    assert not recovered.last_report.cache_hit
+    assert recovered.last_report.executed_forward_runs > 0
+    assert result_key(recomputed) == result_key(result)
+    # The recomputed result overwrites the damaged shard.
+    third = CampaignEngine(spec, cache_dir=tmp_path)
+    third.run()
+    assert third.last_report.cache_hit
+
+
+def test_store_tolerates_truncated_partial_checkpoint(tmp_path):
+    """A corrupt mid-run checkpoint is dropped, not resumed into garbage."""
+    import json
+
+    spec = tiny_spec(n_injections=6)
+    store = CampaignStore(tmp_path)
+    store.save_partial(spec, 0, 6, {3, 4}, {"ff": {}, "n_forward_runs": 1})
+    assert store.load_partial(spec, 0, 6) is not None
+    path = store.path_for(spec)
+    doc = json.loads(path.read_text())
+    doc["partial"]["done_cycles"] = "oops"
+    path.write_text(json.dumps(doc))
+    assert store.load_partial(spec, 0, 6) is None
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"done_cycles": [[1], 2]},  # unhashable element would crash set()
+        {"done_cycles": ["3", 4]},  # mistyped element would double-count
+        {"accum": {"ff": {}, "n_forward_runs": "oops"}},
+        {"accum": {"ff": {}, "total_lane_cycles": None}},
+        {"accum": {"ff": {}, "wall_seconds": "fast"}},
+    ],
+    ids=["unhashable-cycle", "stringly-cycle", "bad-forward-runs",
+         "bad-lane-cycles", "bad-wall"],
+)
+def test_store_drops_partial_with_mistyped_fields(tmp_path, mutation):
+    """Element-level damage inside an otherwise well-shaped checkpoint is
+    dropped instead of crashing (or silently double-counting) on resume."""
+    import json
+
+    spec = tiny_spec(n_injections=6)
+    store = CampaignStore(tmp_path)
+    store.save_partial(spec, 0, 6, {3, 4}, {"ff": {}, "n_forward_runs": 1})
+    path = store.path_for(spec)
+    doc = json.loads(path.read_text())
+    doc["partial"].update(mutation)
+    path.write_text(json.dumps(doc))
+    assert store.load_partial(spec, 0, 6) is None
+
+
+def test_store_skips_wrong_typed_snapshot_payload(tmp_path):
+    """A snapshot slot holding a non-dict must be skipped, not crash with
+    AttributeError inside CampaignResult.from_payload."""
+    spec = tiny_spec(n_injections=6)
+    store = CampaignStore(tmp_path)
+    store.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
+    store.path_for(spec).write_text(
+        '{"store_version": 1, "family": "%s",'
+        ' "snapshots": {"6": "junk", "4": [1, 2]}, "partial": null}'
+        % spec.family_key()
+    )
+    assert store.load_exact(spec) is None
+    assert store.best_snapshot(spec) is None
+
+
+def test_store_drops_partial_with_truncated_ff_records(tmp_path):
+    """A checkpoint whose per-ff counters are truncated is dropped, and the
+    engine recomputes instead of resuming into an IndexError."""
+    import json
+
+    spec = tiny_spec(n_injections=6)
+    engine = CampaignEngine(spec, cache_dir=tmp_path)
+    reference = engine.run()
+
+    store = CampaignStore(tmp_path / "campaigns")
+    ff_name = next(iter(reference.results))
+    doc = json.loads(store.path_for(spec).read_text())
+    doc["snapshots"] = {}  # force a real run that would consult the partial
+    doc["partial"] = {
+        "base": 0,
+        "target": 6,
+        "done_cycles": [1],
+        "accum": {
+            "ff": {ff_name: [1]},  # truncated record
+            "n_forward_runs": 1,
+            "total_lane_cycles": 10,
+            "wall_seconds": 0.1,
+        },
+    }
+    store.path_for(spec).write_text(json.dumps(doc))
+    assert store.load_partial(spec, 0, 6) is None
+
+    recovered = CampaignEngine(spec, cache_dir=tmp_path)
+    result = recovered.run()
+    assert recovered.last_report.resumed_buckets == 0
+    assert result_key(result) == result_key(reference)
+
+
 # ----------------------------------------------------------------- engine
 
 

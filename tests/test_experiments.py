@@ -117,3 +117,46 @@ def test_cli_runs_tiny(tmp_path, monkeypatch):
     assert code == 0
     payload = json.loads((out / "table1.json").read_text())
     assert "k-NN" in payload
+
+
+def test_cli_verify_command(tmp_path, capsys):
+    out = tmp_path / "results"
+    code = cli_main(["verify", "--seeds", "2", "--scale", "tiny", "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "all backends agree" in captured
+    payload = json.loads((out / "verify.json").read_text())
+    assert payload["n_seeds"] == 2
+    assert payload["failing_seeds"] == []
+    assert payload["n_comparisons"] > 0
+
+
+def test_cli_verify_reports_divergence(tmp_path, capsys, monkeypatch):
+    """A corrupted template makes the CLI exit non-zero and name the seed."""
+    import repro.sim.compiled as compiled_mod
+    from repro.verify import FUZZ_SCALES, generate_netlist, rebuild_netlist
+
+    # Find a tiny-scale seed whose output cone actually uses NAND2.
+    spec = FUZZ_SCALES["tiny"]
+    seed = next(
+        s for s in range(100)
+        if any(
+            c.ctype.name == "NAND2"
+            for c in rebuild_netlist(generate_netlist(spec.with_seed(s))).iter_cells()
+        )
+    )
+    monkeypatch.setitem(
+        compiled_mod._TEMPLATES, "NAND2", "v[{o}] = (v[{i0}] & v[{i1}]) & m"
+    )
+    code = cli_main(
+        ["verify", "--seeds", "1", "--seed", str(seed), "--scale", "tiny"]
+    )
+    assert code == 1
+    captured = capsys.readouterr().out
+    assert "DIVERGENCE" in captured
+    assert f"--seed {seed}" in captured
+
+
+def test_cli_rejects_bad_seeds():
+    with pytest.raises(SystemExit):
+        cli_main(["verify", "--seeds", "0"])
