@@ -1,14 +1,16 @@
 """Benchmark: parallel campaign engine vs. the serial engine.
 
 Measures wall-clock speedup of sharded multi-process fault injection on the
-xgmac workload.  Run standalone for the full sweep (this is what the
-acceptance numbers come from)::
+xgmac workload.  Run standalone for the full sweep::
 
     python benchmarks/bench_parallel.py --scale mini --jobs 1 2 4
+    python benchmarks/bench_parallel.py --scale mini --backends compiled fused
 
 or through pytest-benchmark with the rest of the suite (tiny scale, so CI
-stays fast).  Results are bit-identical across ``jobs`` counts — the sweep
-asserts it — so the speedup is free of any accuracy trade-off.
+stays fast).  Results are bit-identical across ``jobs`` counts *and*
+simulation backends — both sweeps assert it — so the speedups are free of
+any accuracy trade-off.  Every row reports effective campaign throughput as
+lanes/sec (simulated lane-cycles per wall second).
 """
 
 from __future__ import annotations
@@ -24,11 +26,17 @@ import pytest
 
 from repro.campaigns import CampaignEngine, CampaignSpec
 from repro.data import DATASET_PRESETS
+from repro.sim import BACKEND_NAMES
 
 
-def _spec_for_scale(scale: str, n_injections: int | None = None) -> CampaignSpec:
+def _spec_for_scale(
+    scale: str, n_injections: int | None = None, backend: str = "compiled"
+) -> CampaignSpec:
     return CampaignSpec.from_dataset_spec(
-        DATASET_PRESETS[scale], schedule="stream", n_injections=n_injections
+        DATASET_PRESETS[scale],
+        schedule="stream",
+        n_injections=n_injections,
+        backend=backend,
     )
 
 
@@ -39,9 +47,11 @@ def _result_key(result) -> Dict[str, List[int]]:
     }
 
 
-def run_sweep(scale: str, jobs_list: List[int]) -> List[Dict]:
+def run_sweep(
+    scale: str, jobs_list: List[int], backend: str = "compiled"
+) -> List[Dict]:
     """Time the campaign at each jobs count; verify bit-identical results."""
-    spec = _spec_for_scale(scale)
+    spec = _spec_for_scale(scale, backend=backend)
     rows: List[Dict] = []
     reference = None
     serial_wall = None
@@ -58,10 +68,41 @@ def run_sweep(scale: str, jobs_list: List[int]) -> List[Dict]:
             serial_wall = wall
         rows.append(
             {
+                "backend": backend,
                 "jobs": jobs,
                 "wall_seconds": round(wall, 3),
                 "speedup": round(serial_wall / wall, 2),
                 "forward_runs": result.n_forward_runs,
+                "lane_cycles_per_sec": round(result.total_lane_cycles / wall),
+                "identical": True,
+            }
+        )
+    return rows
+
+
+def run_backend_sweep(scale: str, backends: List[str]) -> List[Dict]:
+    """Time the serial campaign per backend; verify bit-identical results."""
+    rows: List[Dict] = []
+    reference = None
+    base_wall = None
+    for backend in backends:
+        spec = _spec_for_scale(scale, backend=backend)
+        start = time.perf_counter()
+        result = CampaignEngine(spec, jobs=1).run()
+        wall = time.perf_counter() - start
+        if reference is None:
+            reference = _result_key(result)
+            base_wall = wall
+        elif _result_key(result) != reference:
+            raise AssertionError(f"backend={backend} result differs")
+        rows.append(
+            {
+                "backend": backend,
+                "jobs": 1,
+                "wall_seconds": round(wall, 3),
+                "speedup": round(base_wall / wall, 2),
+                "forward_runs": result.n_forward_runs,
+                "lane_cycles_per_sec": round(result.total_lane_cycles / wall),
                 "identical": True,
             }
         )
@@ -72,16 +113,26 @@ def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="mini", choices=sorted(DATASET_PRESETS))
     parser.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="also sweep the serial campaign over these simulation backends",
+    )
     parser.add_argument("--out", default=None, help="write the sweep as JSON")
     args = parser.parse_args(argv)
 
     print(f"scale={args.scale} cpus={multiprocessing.cpu_count()}")
     rows = run_sweep(args.scale, args.jobs)
-    print(f"{'jobs':>5} {'wall [s]':>10} {'speedup':>8} {'fwd runs':>9}")
+    if args.backends:
+        rows += run_backend_sweep(args.scale, args.backends)
+    print(f"{'backend':>9} {'jobs':>5} {'wall [s]':>10} {'speedup':>8} {'fwd runs':>9} {'Mlanes/s':>9}")
     for row in rows:
         print(
-            f"{row['jobs']:>5} {row['wall_seconds']:>10.3f} "
-            f"{row['speedup']:>7.2f}x {row['forward_runs']:>9}"
+            f"{row['backend']:>9} {row['jobs']:>5} {row['wall_seconds']:>10.3f} "
+            f"{row['speedup']:>7.2f}x {row['forward_runs']:>9} "
+            f"{row['lane_cycles_per_sec'] / 1e6:>9.2f}"
         )
     if args.out:
         with open(args.out, "w") as fh:

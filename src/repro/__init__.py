@@ -12,8 +12,10 @@ The package is organized bottom-up, mirroring the paper's flow (Fig. 1):
     Benchmark designs, most importantly the 10GE-MAC-style core and its
     frame-streaming workload.
 ``repro.sim``
-    Event-driven (0/1/X) and compiled bit-parallel cycle simulators,
-    testbench framework, activity tracing.
+    The pluggable simulation substrate (:mod:`repro.sim.backend`): compiled
+    bit-parallel, NumPy wide-batch and fused-sweep production engines plus
+    the event-driven (0/1/X) simulator, testbench framework and activity
+    tracing.  See ``docs/simulators.md`` for the backend comparison.
 ``repro.faultinjection``
     SEU campaigns: golden-trajectory replay, bit-parallel forward fault
     simulation, failure classification, FDR statistics.
@@ -54,7 +56,7 @@ from . import (
 )
 from .data import DATASET_PRESETS, DatasetSpec, generate_dataset, get_dataset
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "campaigns",

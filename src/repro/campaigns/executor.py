@@ -105,6 +105,7 @@ class _ShardRunner:
             golden,
             context.criterion,
             check_interval=spec.check_interval,
+            backend=spec.backend,
         )
 
     @classmethod

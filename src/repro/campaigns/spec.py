@@ -26,6 +26,7 @@ from ..faultinjection.classify import (
     PacketInterfaceCriterion,
 )
 from ..netlist.core import Netlist
+from ..sim.backend import BACKEND_NAMES
 from ..sim.testbench import GoldenTrace
 
 __all__ = ["CampaignSpec", "CampaignContext", "build_context"]
@@ -48,6 +49,13 @@ class CampaignSpec:
       stream (see :func:`repro.campaigns.partition.stream_buckets`), which
       lets the result store extend a cached *n*-injection campaign to
       *m > n* injections by simulating only the ``m - n`` delta.
+
+    ``backend`` selects the simulation substrate (``"compiled"``,
+    ``"numpy"`` or ``"fused"``; see :mod:`repro.sim.backend`).  Per-lane
+    verdicts and latencies are backend-invariant — differentially verified
+    by ``repro.verify`` — so the backend is an execution detail: it is
+    **excluded from the cache identity**, and snapshots produced with one
+    backend seed or satisfy runs on any other.
     """
 
     circuit: str = "xgmac_mini"
@@ -65,12 +73,17 @@ class CampaignSpec:
     horizon: Optional[int] = None
     max_lanes: int = 256
     check_interval: int = 8
+    backend: str = "compiled"
 
     def __post_init__(self) -> None:
         if self.schedule not in SCHEDULES:
             raise ValueError(f"unknown schedule {self.schedule!r}; choose from {SCHEDULES}")
         if self.criterion not in CRITERIA:
             raise ValueError(f"unknown criterion {self.criterion!r}; choose from {CRITERIA}")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKEND_NAMES}"
+            )
         if self.n_injections <= 0:
             raise ValueError("n_injections must be positive")
 
@@ -94,9 +107,21 @@ class CampaignSpec:
             json.dumps(payload, sort_keys=True).encode()
         ).hexdigest()[:16]
 
+    def _identity_dict(self) -> Dict[str, object]:
+        """Fields that determine the campaign's *results*.
+
+        The simulation backend is deliberately absent: all backends produce
+        bit-identical per-lane outcomes (differentially verified), so cached
+        results are shared across backends and the original compiled-backend
+        cache keys stay valid.
+        """
+        payload = self.to_dict()
+        payload.pop("backend", None)
+        return payload
+
     def cache_key(self) -> str:
         """Content address of this exact campaign (injection budget included)."""
-        return self._hash_of(self.to_dict())
+        return self._hash_of(self._identity_dict())
 
     def family_key(self) -> str:
         """Content address of the campaign *family* sharing one store file.
@@ -107,7 +132,7 @@ class CampaignSpec:
         ``legacy`` schedule reshuffles everything when the budget changes,
         so there the budget stays part of the identity.
         """
-        payload = self.to_dict()
+        payload = self._identity_dict()
         if self.schedule == "stream":
             payload.pop("n_injections")
         return self._hash_of(payload)
@@ -121,10 +146,12 @@ class CampaignSpec:
         dataset_spec,
         schedule: str = "legacy",
         n_injections: Optional[int] = None,
+        backend: str = "compiled",
     ) -> "CampaignSpec":
         """Mirror a :class:`repro.data.DatasetSpec` (duck-typed to avoid the
         circular import; ``repro.data`` builds on this package)."""
         return cls(
+            backend=backend,
             circuit=dataset_spec.circuit,
             n_frames=dataset_spec.n_frames,
             min_len=dataset_spec.min_len,

@@ -18,7 +18,8 @@ afterwards).
 dataset cache and the campaign result store.  The ``campaign`` command runs
 the parallel campaign engine directly (``stream`` schedule, so repeated runs
 with growing ``--injections`` only simulate the delta) and prints its
-economics.
+economics; ``--backend {compiled,numpy,fused}`` selects the simulation
+substrate (see ``docs/simulators.md``) without affecting results.
 
 The ``verify`` command fuzzes ``--seeds`` random circuits and cross-checks
 the compiled simulator, the event-driven simulator, the reference oracle and
@@ -36,6 +37,7 @@ from typing import List, Optional
 
 from ..campaigns import CampaignEngine, CampaignSpec
 from ..data import DATASET_PRESETS, default_cache_dir, get_dataset
+from ..sim.backend import BACKEND_NAMES
 from ..verify import verify_seeds
 from .ablation import run_ablation
 from .figures import FIGURE_MODELS, run_figure
@@ -62,11 +64,14 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
     """Drive the parallel campaign engine directly and print its economics."""
     dataset_spec = DATASET_PRESETS[args.scale]
     spec = CampaignSpec.from_dataset_spec(
-        dataset_spec, schedule="stream", n_injections=args.injections
+        dataset_spec,
+        schedule="stream",
+        n_injections=args.injections,
+        backend=args.backend,
     )
     print(
         f"=== campaign === circuit={spec.circuit} injections={spec.n_injections} "
-        f"jobs={args.jobs} cache={cache_dir}",
+        f"backend={spec.backend} jobs={args.jobs} cache={cache_dir}",
         flush=True,
     )
     engine = CampaignEngine(
@@ -165,6 +170,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--regenerate", action="store_true", help="ignore the dataset cache")
     parser.add_argument(
         "--jobs", type=int, default=1, help="campaign worker processes (default: 1, serial)"
+    )
+    parser.add_argument(
+        "--backend",
+        default="compiled",
+        choices=list(BACKEND_NAMES),
+        help="campaign simulation substrate (results are backend-invariant; "
+        "see docs/simulators.md)",
     )
     parser.add_argument(
         "--cache-dir",

@@ -149,8 +149,14 @@ class StatisticalFaultCampaign:
     golden:
         Reuse a previously recorded golden trace (otherwise recorded here).
     max_lanes:
-        Cap on bit-parallel lanes per forward run (wider integers slow each
-        operation; 256 is a good trade-off in CPython).
+        Cap on bit-parallel lanes per forward run.  256 is a good trade-off
+        for the default compiled backend in CPython; the ``numpy`` backend
+        profits from much wider batches (thousands of lanes).
+    check_interval:
+        Cycles between the injector's early-retirement checks.
+    backend:
+        Simulation substrate (``"compiled"``, ``"numpy"`` or ``"fused"``,
+        see :mod:`repro.sim.backend`); results are backend-invariant.
     """
 
     def __init__(
@@ -162,6 +168,7 @@ class StatisticalFaultCampaign:
         golden: Optional[GoldenTrace] = None,
         max_lanes: int = 256,
         check_interval: int = 8,
+        backend: str = "compiled",
     ) -> None:
         self.netlist = netlist
         self.testbench = testbench
@@ -178,7 +185,12 @@ class StatisticalFaultCampaign:
         self.active_window = (first, last)
         self.max_lanes = max_lanes
         self.injector = FaultInjector(
-            netlist, testbench, self.golden, criterion, check_interval=check_interval
+            netlist,
+            testbench,
+            self.golden,
+            criterion,
+            check_interval=check_interval,
+            backend=backend,
         )
 
     def run(

@@ -12,6 +12,10 @@ exactly this over the packet receive interface:
 
 Criteria are *bound* to a simulator once (resolving net names to indices)
 and then evaluated per cycle over all bit-parallel fault lanes at once.
+Binding and evaluation are backend-agnostic: any
+:class:`~repro.sim.backend.SimBackend` works, because evaluation only uses
+``& | ^`` on lane vectors (Python ints on the compiled backend, ``uint64``
+lane blocks on the numpy backend).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from ..netlist.core import Netlist
-from ..sim.compiled import CompiledSimulator
+from ..sim.backend import SimBackend
 
 __all__ = [
     "FailureCriterion",
@@ -42,12 +46,23 @@ class BoundCriterion:
         self._valid = list(valid_pairs)
         self._data = list(data_pairs)
 
-    def evaluate(self, values: List[int], golden_outputs: int, mask: int) -> int:
+    @property
+    def valid_pairs(self) -> List[Tuple[int, int]]:
+        """Strobe (value-index, golden-bit) pairs; any deviation fails."""
+        return list(self._valid)
+
+    @property
+    def data_pairs(self) -> List[Tuple[int, int]]:
+        """Payload (value-index, golden-bit) pairs; checked on beat cycles."""
+        return list(self._data)
+
+    def evaluate(self, values, golden_outputs: int, mask):
         """Per-lane failure mask for one cycle.
 
         ``values`` is the simulator's net-value array after combinational
-        settle; ``golden_outputs`` the packed golden output vector for the
-        same cycle.
+        settle (lane vectors in the backend's native representation);
+        ``golden_outputs`` the packed golden output vector for the same
+        cycle.  Returns a lane vector of failing lanes.
         """
         fail = 0
         beat_any = 0
@@ -69,7 +84,7 @@ class FailureCriterion:
         """Outputs whose deviation can constitute a failure."""
         raise NotImplementedError
 
-    def bind(self, netlist: Netlist, sim: CompiledSimulator) -> BoundCriterion:
+    def bind(self, netlist: Netlist, sim: SimBackend) -> BoundCriterion:
         raise NotImplementedError
 
 
@@ -92,7 +107,7 @@ class PacketInterfaceCriterion(FailureCriterion):
     def observable_nets(self) -> List[str]:
         return list(self.valid_nets) + list(self.data_nets)
 
-    def bind(self, netlist: Netlist, sim: CompiledSimulator) -> BoundCriterion:
+    def bind(self, netlist: Netlist, sim: SimBackend) -> BoundCriterion:
         out_bit = {name: i for i, name in enumerate(netlist.outputs)}
         valid_pairs = [(sim.net_index[n], out_bit[n]) for n in self.valid_nets]
         data_pairs = [(sim.net_index[n], out_bit[n]) for n in self.data_nets]
@@ -116,7 +131,7 @@ class AnyOutputCriterion(FailureCriterion):
     def observable_nets(self) -> List[str]:
         return list(self.nets)
 
-    def bind(self, netlist: Netlist, sim: CompiledSimulator) -> BoundCriterion:
+    def bind(self, netlist: Netlist, sim: SimBackend) -> BoundCriterion:
         out_bit = {name: i for i, name in enumerate(netlist.outputs)}
         valid_pairs = [(sim.net_index[n], out_bit[n]) for n in self.nets]
         return BoundCriterion(valid_pairs, [])

@@ -17,6 +17,15 @@ ingredients make the paper's full flat campaign tractable:
    path to the criterion outputs or loopback sources — a fault lingering
    only in, say, a statistics counter is provably benign and does not keep
    the batch alive.
+
+The forward simulation runs on a pluggable substrate (see
+:mod:`repro.sim.backend`): ``backend="compiled"`` packs lanes into Python
+integers, ``backend="numpy"`` evaluates ``uint64`` lane blocks for wide
+batches, and ``backend="fused"`` code-generates one specialized sweep kernel
+per (circuit, workload) that runs the whole batch loop in a single generated
+function (:mod:`repro.sim.fused`).  All three produce bit-identical
+verdicts and latencies — cross-checked per fuzz seed by
+:mod:`repro.verify.diff`.
 """
 
 from __future__ import annotations
@@ -25,7 +34,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netlist.core import Netlist
-from ..sim.compiled import CompiledSimulator
+from ..sim.backend import BACKEND_NAMES, create_backend
+from ..sim.fused import FusedSweepKernel
 from ..sim.testbench import GoldenTrace, Testbench
 from .classify import FailureCriterion
 
@@ -59,6 +69,14 @@ def relevant_flip_flops(netlist: Netlist, observable_nets: Sequence[str]) -> Set
     return relevant
 
 
+def _iter_lanes(bits: int):
+    """Yield the set lane indices of a packed Python-int lane mask."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
 @dataclass
 class BatchOutcome:
     """Result of one injection batch.
@@ -74,7 +92,8 @@ class BatchOutcome:
     latencies: Dict[int, int] = field(default_factory=dict)
 
     def failed_lanes(self) -> List[int]:
-        return [j for j in range(self.n_lanes) if (self.failed_mask >> j) & 1]
+        """Lane indices whose runs were classified as functional failures."""
+        return list(_iter_lanes(self.failed_mask))
 
 
 @dataclass
@@ -85,11 +104,24 @@ class _LoopTap:
     target_value_idx: int
     source_out_bit: int
     delay: int
-    slots: List[int]
+    slots: List[object]
 
 
 class FaultInjector:
-    """Forward SEU simulator bound to one netlist/testbench/golden trace."""
+    """Forward SEU simulator bound to one netlist/testbench/golden trace.
+
+    Parameters
+    ----------
+    netlist / testbench / golden / criterion:
+        The design under test, its workload driver, the recorded fault-free
+        trajectory, and the functional-failure definition.
+    check_interval:
+        Cycles between early-retirement convergence checks (trade-off:
+        smaller intervals retire lanes sooner but check more often).
+    backend:
+        Simulation substrate: ``"compiled"`` (default), ``"numpy"``, or
+        ``"fused"``.  Verdicts and latencies are backend-invariant.
+    """
 
     def __init__(
         self,
@@ -98,13 +130,24 @@ class FaultInjector:
         golden: GoldenTrace,
         criterion: FailureCriterion,
         check_interval: int = 8,
+        backend: str = "compiled",
     ) -> None:
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKEND_NAMES}"
+            )
         self.netlist = netlist
         self.testbench = testbench
         self.golden = golden
         self.check_interval = max(1, check_interval)
-        self.sim = CompiledSimulator(netlist, n_lanes=1)
+        self.backend = backend
+        # The fused engine replaces the per-cycle loop, not the cycle
+        # simulator itself; SET injection and net bookkeeping still run on
+        # the compiled substrate underneath it.
+        cycle_backend = "compiled" if backend == "fused" else backend
+        self.sim = create_backend(cycle_backend, netlist, n_lanes=1)
         self._criterion = criterion.bind(netlist, self.sim)
+        self._fused: Optional[FusedSweepKernel] = None
 
         self._input_value_idx = [self.sim.net_index[n] for n in testbench.input_names]
         out_bit = {name: i for i, name in enumerate(netlist.outputs)}
@@ -144,7 +187,31 @@ class FaultInjector:
     # ----------------------------------------------------------------- API
 
     def ff_index(self, ff_name: str) -> int:
+        """Index of a flip-flop by instance name (lane/state ordering)."""
         return self.sim.ff_index[ff_name]
+
+    def _fused_kernel(self) -> FusedSweepKernel:
+        """Build (once) the generated sweep kernel for this workload."""
+        if self._fused is None:
+            self._fused = FusedSweepKernel(
+                self.netlist,
+                self.golden,
+                open_inputs=self._open_inputs,
+                clock_value_idx=[
+                    self.sim.net_index[c]
+                    for c in self.netlist.clocks
+                    if c in self.sim.net_index
+                ],
+                taps=[
+                    (t.source_value_idx, t.target_value_idx, t.source_out_bit, t.delay)
+                    for t in self._taps
+                ],
+                valid_pairs=self._criterion.valid_pairs,
+                data_pairs=self._criterion.data_pairs,
+                relevant_pairs=self._relevant_pairs,
+                check_interval=self.check_interval,
+            )
+        return self._fused
 
     def run_batch(
         self,
@@ -162,10 +229,26 @@ class FaultInjector:
         if not 0 <= cycle < golden.n_cycles:
             raise ValueError(f"injection cycle {cycle} outside trace [0, {golden.n_cycles})")
         n = len(ff_indices)
+
+        if self.backend == "fused":
+            end = golden.n_cycles
+            if horizon is not None:
+                end = min(end, cycle + horizon)
+            failed, latencies, cycles = self._fused_kernel().run_sweep(
+                cycle, end, ff_indices
+            )
+            return BatchOutcome(
+                failed_mask=failed,
+                n_lanes=n,
+                cycles_simulated=cycles,
+                latencies=latencies,
+            )
+
         sim = self.sim
         sim.resize_lanes(n)
         mask = sim.mask
         values = sim.values
+        zero = sim.broadcast(0)
 
         sim.load_ff_state_packed(golden.ff_state[cycle])
         for lane, ff_idx in enumerate(ff_indices):
@@ -174,16 +257,16 @@ class FaultInjector:
         for tap in self._taps:
             for past in range(cycle - tap.delay, cycle):
                 if past < 0:
-                    tap.slots[past % tap.delay] = 0
+                    tap.slots[past % tap.delay] = zero
                 else:
                     bit = (golden.outputs[past] >> tap.source_out_bit) & 1
-                    tap.slots[past % tap.delay] = mask if bit else 0
+                    tap.slots[past % tap.delay] = sim.broadcast(bit)
 
         end = golden.n_cycles
         if horizon is not None:
             end = min(end, cycle + horizon)
 
-        failed = 0
+        failed = zero
         latencies: Dict[int, int] = {}
         criterion = self._criterion
         check = self.check_interval
@@ -191,29 +274,27 @@ class FaultInjector:
         while c < end:
             vec = golden.applied_inputs[c]
             for bit_pos, value_idx in self._open_inputs:
-                values[value_idx] = mask if (vec >> bit_pos) & 1 else 0
+                values[value_idx] = mask if (vec >> bit_pos) & 1 else zero
             for tap in self._taps:
                 values[tap.target_value_idx] = tap.slots[c % tap.delay]
             sim.eval_comb()
             newly = criterion.evaluate(values, golden.outputs[c], mask) & ~failed
-            if newly:
-                failed |= newly
+            if sim.vec_any(newly):
+                failed = failed | newly
                 latency = c - cycle
-                while newly:
-                    low = newly & -newly
-                    latencies[low.bit_length() - 1] = latency
-                    newly ^= low
+                for lane in _iter_lanes(sim.vec_to_int(newly)):
+                    latencies[lane] = latency
             for tap in self._taps:
-                tap.slots[c % tap.delay] = values[tap.source_value_idx]
+                tap.slots[c % tap.delay] = sim.read_vec(tap.source_value_idx)
             sim.tick()
             c += 1
             if (c - cycle) % check == 0 or c == end:
                 diverged = self._divergence(golden.ff_state[c], mask)
-                diverged |= self._loopback_divergence(c, mask)
-                if (failed | ~diverged) & mask == mask:
+                diverged = diverged | self._loopback_divergence(c, mask)
+                if sim.vec_is_full(failed | ~diverged):
                     break
         return BatchOutcome(
-            failed_mask=failed & mask,
+            failed_mask=sim.vec_to_int(failed),
             n_lanes=n,
             cycles_simulated=c - cycle,
             latencies=latencies,
@@ -235,6 +316,9 @@ class FaultInjector:
         next cycle on the run continues exactly like an SEU forward
         simulation.  Electrical and sub-cycle temporal de-rating are below
         this model's time resolution, as discussed in the paper's section II.
+
+        SET sweeps always run on the cycle substrate (compiled or numpy);
+        the fused kernel only specializes flip-flop SEU sweeps.
         """
         golden = self.golden
         if not 0 <= cycle < golden.n_cycles:
@@ -244,40 +328,37 @@ class FaultInjector:
         sim.resize_lanes(n)
         mask = sim.mask
         values = sim.values
+        zero = sim.broadcast(0)
 
         sim.load_ff_state_packed(golden.ff_state[cycle])
         for tap in self._taps:
             for past in range(cycle - tap.delay, cycle):
                 if past < 0:
-                    tap.slots[past % tap.delay] = 0
+                    tap.slots[past % tap.delay] = zero
                 else:
                     bit = (golden.outputs[past] >> tap.source_out_bit) & 1
-                    tap.slots[past % tap.delay] = mask if bit else 0
+                    tap.slots[past % tap.delay] = sim.broadcast(bit)
 
         # Injection cycle: settle fault-free, then force the struck nets and
         # re-evaluate the downstream cones with the forces held.
         vec = golden.applied_inputs[cycle]
         for bit_pos, value_idx in self._open_inputs:
-            values[value_idx] = mask if (vec >> bit_pos) & 1 else 0
+            values[value_idx] = mask if (vec >> bit_pos) & 1 else zero
         for tap in self._taps:
             values[tap.target_value_idx] = tap.slots[cycle % tap.delay]
         sim.eval_comb()
-        forces: Dict[int, int] = {}
+        forces: Dict[int, object] = {}
         for lane, net in enumerate(net_names):
             idx = sim.net_index[net]
-            forces[idx] = forces.get(idx, 0) | (1 << lane)
+            forces[idx] = forces.get(idx, 0) | sim.lane_vec(lane)
         self._propagate_forced(forces, mask)
 
         latencies: Dict[int, int] = {}
         failed = self._criterion.evaluate(values, golden.outputs[cycle], mask)
-        if failed:
-            probe = failed
-            while probe:
-                low = probe & -probe
-                latencies[low.bit_length() - 1] = 0
-                probe ^= low
+        for lane in _iter_lanes(sim.vec_to_int(failed)):
+            latencies[lane] = 0
         for tap in self._taps:
-            tap.slots[cycle % tap.delay] = values[tap.source_value_idx]
+            tap.slots[cycle % tap.delay] = sim.read_vec(tap.source_value_idx)
         sim.tick()
 
         # Continue as a plain forward run from the next cycle.
@@ -290,34 +371,33 @@ class FaultInjector:
         while c < end:
             vec = golden.applied_inputs[c]
             for bit_pos, value_idx in self._open_inputs:
-                values[value_idx] = mask if (vec >> bit_pos) & 1 else 0
+                values[value_idx] = mask if (vec >> bit_pos) & 1 else zero
             for tap in self._taps:
                 values[tap.target_value_idx] = tap.slots[c % tap.delay]
             sim.eval_comb()
             newly = criterion.evaluate(values, golden.outputs[c], mask) & ~failed
-            if newly:
-                failed |= newly
-                while newly:
-                    low = newly & -newly
-                    latencies.setdefault(low.bit_length() - 1, c - cycle)
-                    newly ^= low
+            if sim.vec_any(newly):
+                failed = failed | newly
+                latency = c - cycle
+                for lane in _iter_lanes(sim.vec_to_int(newly)):
+                    latencies.setdefault(lane, latency)
             for tap in self._taps:
-                tap.slots[c % tap.delay] = values[tap.source_value_idx]
+                tap.slots[c % tap.delay] = sim.read_vec(tap.source_value_idx)
             sim.tick()
             c += 1
             if (c - cycle) % check == 0 or c == end:
                 diverged = self._divergence(golden.ff_state[c], mask)
-                diverged |= self._loopback_divergence(c, mask)
-                if (failed | ~diverged) & mask == mask:
+                diverged = diverged | self._loopback_divergence(c, mask)
+                if sim.vec_is_full(failed | ~diverged):
                     break
         return BatchOutcome(
-            failed_mask=failed & mask,
+            failed_mask=sim.vec_to_int(failed),
             n_lanes=n,
             cycles_simulated=c - cycle,
             latencies=latencies,
         )
 
-    def _propagate_forced(self, forces: Dict[int, int], mask: int) -> None:
+    def _propagate_forced(self, forces: Dict[int, object], mask: object) -> None:
         """Apply per-lane net inversions and re-settle the downstream logic.
 
         Walks the combinational cells in topological order, re-evaluating any
@@ -327,8 +407,8 @@ class FaultInjector:
         sim = self.sim
         values = sim.values
         dirty = set()
-        for idx, lane_mask_bits in forces.items():
-            values[idx] ^= lane_mask_bits
+        for idx, lane_bits in forces.items():
+            values[idx] = values[idx] ^ lane_bits
             dirty.add(idx)
         for cell_name in self.netlist.topological_comb_order():
             cell = self.netlist.cells[cell_name]
@@ -337,32 +417,37 @@ class FaultInjector:
                 continue
             out_idx = sim.net_index[cell.output_net()]
             new_value = cell.ctype.evaluate([values[i] for i in in_idxs], mask)
-            new_value ^= forces.get(out_idx, 0)
-            if new_value != values[out_idx]:
+            new_value = new_value ^ forces.get(out_idx, 0)
+            if sim.vec_any(new_value ^ values[out_idx]):
                 values[out_idx] = new_value
                 dirty.add(out_idx)
 
     # ------------------------------------------------------------ internals
 
-    def _divergence(self, golden_packed: int, mask: int) -> int:
+    def _divergence(self, golden_packed: int, mask: object) -> object:
         """Per-lane mask of lanes whose relevant FF state differs from golden."""
-        diff = 0
-        values = self.sim.values
-        for q_idx, ff_index in self._relevant_pairs:
+        sim = self.sim
+        diff = sim.broadcast(0)
+        values = sim.values
+        # Early-exit once every lane diverged, but only probe periodically:
+        # vec_is_full is a method call (and an array reduction on the numpy
+        # backend), so checking per flip-flop would dominate the sweep.
+        for k, (q_idx, ff_index) in enumerate(self._relevant_pairs):
             golden = mask if (golden_packed >> ff_index) & 1 else 0
-            diff |= values[q_idx] ^ golden
-            if diff == mask:
+            diff = diff | (values[q_idx] ^ golden)
+            if (k & 31) == 31 and sim.vec_is_full(diff):
                 return diff
         return diff
 
-    def _loopback_divergence(self, next_cycle: int, mask: int) -> int:
+    def _loopback_divergence(self, next_cycle: int, mask: object) -> object:
         """Lanes whose in-flight loopback values differ from the golden record."""
-        diff = 0
+        sim = self.sim
+        diff = sim.broadcast(0)
         golden = self.golden
         for tap in self._taps:
             for past in range(max(0, next_cycle - tap.delay), next_cycle):
                 if past >= golden.n_cycles:
                     continue
                 bit = (golden.outputs[past] >> tap.source_out_bit) & 1
-                diff |= tap.slots[past % tap.delay] ^ (mask if bit else 0)
+                diff = diff | (tap.slots[past % tap.delay] ^ (mask if bit else 0))
         return diff & mask

@@ -1,16 +1,23 @@
 """Compiled, levelized, bit-parallel cycle simulator.
 
-This is the campaign workhorse of the reproduction.  The netlist's
-combinational logic is levelized (topologically ordered) once and translated
-into a single generated Python function — one statement per gate, operating
-on Python integers whose bit lanes are independent simulation runs.  A
-clock ``tick`` latches every flip-flop simultaneously (two-phase: all next
-states are computed before any Q is updated).
+This is the reference production backend of the simulation substrate (see
+:mod:`repro.sim.backend` for the :class:`SimBackend` protocol and the
+registry).  The netlist's combinational logic is levelized (topologically
+ordered) once and translated into a single generated Python function — one
+statement per gate, operating on Python integers whose bit lanes are
+independent simulation runs.  A clock ``tick`` latches every flip-flop
+simultaneously (two-phase: all next states are computed before any Q is
+updated).
 
 With *n* lanes, one pass of the generated code simulates *n* circuit
-instances at once; the fault-injection campaign uses this to run hundreds of
-SEU scenarios per sweep, which is what makes the paper's full flat campaign
-(≈1054 flip-flops × 170 injections) feasible in pure Python.
+instances at once.  Because every gate evaluation is a CPython big-int
+operation, cost grows with the integer width: the sweet spot is a few
+hundred lanes (the campaign default is 256), which is what makes the paper's
+full flat campaign (≈1054 flip-flops × 170 injections) feasible in pure
+Python.  For thousands of lanes per pass use the NumPy wide-batch backend
+(:class:`~repro.sim.vectorized.NumPyWideSimulator`), which evaluates the
+same generated statements over ``uint64`` lane-block arrays; for whole
+injection sweeps use the fused kernel (:mod:`repro.sim.fused`).
 
 Clock handling is cycle-based: clock nets are forced to 0 and every call to
 :meth:`CompiledSimulator.tick` represents one rising edge.
@@ -21,9 +28,10 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..netlist.core import Cell, Netlist, NetlistError
+from .backend import PackedLaneMixin
 from .logic import broadcast, lane_mask
 
-__all__ = ["CompiledSimulator"]
+__all__ = ["CompiledSimulator", "build_eval_source"]
 
 # Expression templates per library cell type; {o} output index, {i0}.. inputs.
 _TEMPLATES: Dict[str, str] = {
@@ -53,7 +61,51 @@ _TEMPLATES: Dict[str, str] = {
 }
 
 
-class CompiledSimulator:
+def build_eval_source(
+    netlist: Netlist,
+    net_index: Mapping[str, int],
+    fallback_cells: List[Tuple[Callable, int, Tuple[int, ...]]],
+    templates: Optional[Dict[str, str]] = None,
+) -> str:
+    """Generate the combinational-settle function source for *netlist*.
+
+    Returns the source of ``_eval(v, m, fb)``: one statement per gate in
+    levelized order, reading and writing ``v[i]`` lane vectors under the
+    all-ones mask ``m``.  The statements only use ``& | ^ ~`` and indexing,
+    so the same source works for any lane representation whose rows support
+    those operators — Python integers (:class:`CompiledSimulator`) and
+    ``uint64`` ndarray blocks (:class:`~repro.sim.vectorized.NumPyWideSimulator`)
+    alike.  Cells without a template are appended to *fallback_cells* as
+    ``(function, out_index, in_indices)`` and dispatched through ``fb``.
+
+    *templates* overrides the default expression table (the numpy backend
+    substitutes cheaper ``^ m`` forms for the inverting gates).
+    """
+    table = _TEMPLATES if templates is None else templates
+    lines = ["def _eval(v, m, fb):"]
+    order = netlist.topological_comb_order()
+    for cell_name in order:
+        cell = netlist.cells[cell_name]
+        out = net_index[cell.output_net()]
+        ins = [net_index[n] for n in cell.input_nets()]
+        template = table.get(cell.ctype.name)
+        if template is None:
+            idx = len(fallback_cells)
+            fallback_cells.append((cell.ctype.function, out, tuple(ins)))
+            lines.append(
+                f"    v[{out}] = fb[{idx}][0]([v[i] for i in fb[{idx}][2]], m)"
+            )
+            continue
+        fields = {"o": out}
+        for pos, in_idx in enumerate(ins):
+            fields[f"i{pos}"] = in_idx
+        lines.append("    " + template.format(**fields))
+    if len(lines) == 1:
+        lines.append("    pass")
+    return "\n".join(lines)
+
+
+class CompiledSimulator(PackedLaneMixin):
     """Cycle-based bit-parallel simulator for a mapped :class:`Netlist`.
 
     Parameters
@@ -75,8 +127,13 @@ class CompiledSimulator:
             sim.tick()                # rising clock edge
 
     After mutating flip-flop state directly (:meth:`flip_ff`,
-    :meth:`load_ff_state`), call :meth:`eval_comb` before observing nets.
+    :meth:`load_ff_state_packed`), call :meth:`eval_comb` before observing
+    nets.
     """
+
+    #: Registry name under which :func:`repro.sim.backend.create_backend`
+    #: builds this class.
+    name = "compiled"
 
     def __init__(self, netlist: Netlist, n_lanes: int = 1) -> None:
         netlist.validate()
@@ -108,28 +165,9 @@ class CompiledSimulator:
     # ------------------------------------------------------------ compiling
 
     def _compile_eval(self) -> Callable[[List[int], int, list], None]:
-        lines = ["def _eval(v, m, fb):"]
-        order = self.netlist.topological_comb_order()
-        for cell_name in order:
-            cell = self.netlist.cells[cell_name]
-            out = self.net_index[cell.output_net()]
-            ins = [self.net_index[n] for n in cell.input_nets()]
-            template = _TEMPLATES.get(cell.ctype.name)
-            if template is None:
-                idx = len(self._fallback_cells)
-                self._fallback_cells.append((cell.ctype.function, out, tuple(ins)))
-                lines.append(
-                    f"    v[{out}] = fb[{idx}][0]([v[i] for i in fb[{idx}][2]], m)"
-                )
-                continue
-            fields = {"o": out}
-            for pos, idx in enumerate(ins):
-                fields[f"i{pos}"] = idx
-            lines.append("    " + template.format(**fields))
-        if len(lines) == 1:
-            lines.append("    pass")
+        source = build_eval_source(self.netlist, self.net_index, self._fallback_cells)
         namespace: Dict[str, object] = {}
-        exec("\n".join(lines), namespace)  # noqa: S102 - generated from our own netlist
+        exec(source, namespace)  # noqa: S102 - generated from our own netlist
         return namespace["_eval"]  # type: ignore[return-value]
 
     def _compile_tick(self) -> Callable[[List[int], int], None]:
@@ -179,11 +217,6 @@ class CompiledSimulator:
         """Drive primary input *name* with a per-lane bit-parallel value."""
         self.values[self.net_index[name]] = value & self.mask
 
-    def apply_inputs(self, assignments: Mapping[str, int]) -> None:
-        """Drive several inputs with scalar values at once."""
-        for name, bit in assignments.items():
-            self.set_input(name, bit)
-
     def eval_comb(self) -> None:
         """Propagate values through the combinational logic (one full pass)."""
         for clk in self._clock_nets:
@@ -194,12 +227,8 @@ class CompiledSimulator:
         """Rising clock edge: latch D (gated by sync RN) into every Q."""
         self._tick_fn(self.values, self.mask)
 
-    def step(self, assignments: Mapping[str, int] | None = None) -> None:
-        """Convenience: drive inputs, settle logic, clock the registers."""
-        if assignments:
-            self.apply_inputs(assignments)
-        self.eval_comb()
-        self.tick()
+    # apply_inputs / step / get_word / set_word / output_vector come from
+    # PackedLaneMixin.
 
     # ------------------------------------------------------------ observing
 
@@ -208,19 +237,8 @@ class CompiledSimulator:
         return self.values[self.net_index[net_name]]
 
     def get_bit(self, net_name: str, lane: int = 0) -> int:
+        """Value of a net on one lane."""
         return (self.values[self.net_index[net_name]] >> lane) & 1
-
-    def get_word(self, bus: str, width: int, lane: int = 0) -> int:
-        """Read nets ``bus[0] .. bus[width-1]`` of one lane as an integer."""
-        word = 0
-        for bit in range(width):
-            word |= self.get_bit(f"{bus}[{bit}]", lane) << bit
-        return word
-
-    def set_word(self, bus: str, width: int, value: int) -> None:
-        """Drive input nets ``bus[0..width-1]`` from an integer (broadcast)."""
-        for bit in range(width):
-            self.set_input(f"{bus}[{bit}]", (value >> bit) & 1)
 
     # ------------------------------------------------------- flip-flop state
 
@@ -263,15 +281,39 @@ class CompiledSimulator:
                 break
         return diff
 
+    # --------------------------------------------------------- lane algebra
+    #
+    # For this backend a lane vector IS a Python int, so the SimBackend lane
+    # algebra collapses to (near-)identities; they exist so fault-simulation
+    # code can stay generic over the lane representation.
+
+    def broadcast(self, bit: int) -> int:
+        """Lane vector with every lane equal to *bit*."""
+        return self.mask if bit else 0
+
+    def lane_vec(self, lane: int) -> int:
+        """Lane vector with only *lane* set."""
+        return 1 << lane
+
+    def read_vec(self, value_idx: int) -> int:
+        """Value of net row *value_idx* (ints are immutable: no copy needed)."""
+        return self.values[value_idx]
+
+    def vec_to_int(self, vec: int) -> int:
+        """Packed per-lane mask of *vec* (already an int here)."""
+        return vec & self.mask
+
+    def vec_any(self, vec: int) -> bool:
+        """True if any active lane of *vec* is set."""
+        return bool(vec & self.mask)
+
+    def vec_is_full(self, vec: int) -> bool:
+        """True if every active lane of *vec* is set."""
+        return (vec & self.mask) == self.mask
+
     # ----------------------------------------------------------------- misc
 
     @property
     def n_flip_flops(self) -> int:
+        """Number of flip-flops in the design (lane-state width)."""
         return len(self.flip_flops)
-
-    def output_vector(self, lane: int = 0) -> int:
-        """All primary outputs of one lane, packed in ``netlist.outputs`` order."""
-        packed = 0
-        for j, name in enumerate(self.netlist.outputs):
-            packed |= self.get_bit(name, lane) << j
-        return packed

@@ -1,0 +1,264 @@
+"""Fused injection-sweep kernel: one generated function per (circuit, workload).
+
+:meth:`~repro.faultinjection.injector.FaultInjector.run_batch` spends its
+cycles in a Python-level loop that re-dispatches per cycle into the
+simulator (``values[...]`` list indexing, ``eval_comb()``/``tick()`` calls,
+criterion evaluation over a pair list, tap bookkeeping).  For sweep-heavy
+campaigns that per-cycle interpreter churn is pure overhead: the netlist,
+the workload's input/loopback layout, the failure criterion and the
+early-retirement structure are all known *before* the first sweep runs.
+
+:class:`FusedSweepKernel` therefore code-generates, once per
+(circuit, workload, criterion) binding, a single specialized function that
+runs the golden-trace replay and **all fault lanes of a sweep in one pass**:
+
+* every net value is a Python *local variable* (``LOAD_FAST`` instead of
+  list indexing),
+* the gate statements are inlined in levelized order (same expression
+  templates as the compiled backend),
+* open-loop stimulus decode, loopback tap shifts, failure classification,
+  latency capture, relevant-flip-flop divergence and early retirement are
+  all inlined into the same loop body.
+
+Lanes are packed into Python integers exactly like
+:class:`~repro.sim.compiled.CompiledSimulator`, so verdicts and error
+latencies are bit-identical to the compiled and numpy substrates — the
+differential harness (:mod:`repro.verify.diff`) checks this on every fuzz
+seed.  Select it with ``FaultInjector(..., backend="fused")``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.core import Netlist
+from .compiled import _TEMPLATES
+from .logic import lane_mask
+from .testbench import GoldenTrace
+
+__all__ = ["FusedSweepKernel"]
+
+
+def _local(net_idx: int) -> str:
+    """Local-variable name carrying the lane vector of net *net_idx*."""
+    return f"n{net_idx}"
+
+
+class FusedSweepKernel:
+    """Specialized SEU-sweep executor generated for one workload binding.
+
+    Parameters mirror what :class:`~repro.faultinjection.injector.FaultInjector`
+    has already resolved: net *value indices* follow the canonical
+    ``enumerate(netlist.nets)`` order shared by all backends.
+
+    Parameters
+    ----------
+    netlist / golden:
+        Design under test and its recorded fault-free trajectory.
+    open_inputs:
+        ``(schedule_bit, value_idx)`` pairs for inputs replayed open-loop
+        from ``golden.applied_inputs`` (loopback targets excluded).
+    clock_value_idx:
+        Value indices of clock nets: held at 0 (cycle-based clocking).
+    taps:
+        ``(source_value_idx, target_value_idx, source_out_bit, delay)`` per
+        loopback bit, fed reactively from the faulty run's own outputs.
+    valid_pairs / data_pairs:
+        The bound failure criterion (see
+        :class:`~repro.faultinjection.classify.BoundCriterion`).
+    relevant_pairs:
+        ``(q_value_idx, ff_index)`` of flip-flops that can still influence
+        the observables — the early-retirement divergence set.
+    check_interval:
+        Cycles between inlined early-retirement checks.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        golden: GoldenTrace,
+        *,
+        open_inputs: Sequence[Tuple[int, int]],
+        clock_value_idx: Sequence[int],
+        taps: Sequence[Tuple[int, int, int, int]],
+        valid_pairs: Sequence[Tuple[int, int]],
+        data_pairs: Sequence[Tuple[int, int]],
+        relevant_pairs: Sequence[Tuple[int, int]],
+        check_interval: int = 8,
+    ) -> None:
+        self.netlist = netlist
+        self.golden = golden
+        self._taps = list(taps)
+        self._n_ffs = len(netlist.flip_flops())
+        self._check_interval = max(1, check_interval)
+        net_index = {name: i for i, name in enumerate(netlist.nets)}
+        clocks = set(clock_value_idx)
+        self._open_inputs = [(b, i) for b, i in open_inputs if i not in clocks]
+        self._clocks = sorted(clocks)
+        self._valid_pairs = list(valid_pairs)
+        self._data_pairs = list(data_pairs)
+        self._relevant_pairs = list(relevant_pairs)
+        self._fallbacks: List[object] = []
+        self._fn = self._compile(net_index)
+
+    # ------------------------------------------------------------ compiling
+
+    def _gate_lines(self, net_index: Dict[str, int], indent: str) -> List[str]:
+        """Inlined combinational settle: one statement per gate, on locals."""
+        lines: List[str] = []
+        for cell_name in self.netlist.topological_comb_order():
+            cell = self.netlist.cells[cell_name]
+            out = net_index[cell.output_net()]
+            ins = [net_index[n] for n in cell.input_nets()]
+            template = _TEMPLATES.get(cell.ctype.name)
+            if template is None:
+                args = ", ".join(_local(i) for i in ins)
+                lines.append(
+                    f"{indent}{_local(out)} = fb[{len(self._fallbacks)}]([{args}], m)"
+                )
+                self._fallbacks.append(cell.ctype.function)
+                continue
+            # Rewrite the shared `v[{o}] = ...v[{i0}]...` templates to act on
+            # the per-net locals instead of the value array.
+            local_template = template.replace("v[{", "n{").replace("}]", "}")
+            fields = {"o": out}
+            for pos, in_idx in enumerate(ins):
+                fields[f"i{pos}"] = in_idx
+            lines.append(indent + local_template.format(**fields))
+        return lines
+
+    def _compile(self, net_index: Dict[str, int]):
+        netlist = self.netlist
+        check = self._check_interval
+        flip_flops = netlist.flip_flops()
+        ind = "        "  # loop-body indent
+
+        lines = [
+            "def _sweep(cycle, end, m, flips, applied, gold_out, gold_ff,"
+            " slots, latencies):",
+            "    z = 0",
+        ]
+        for t in range(len(self._taps)):
+            lines.append(f"    s{t} = slots[{t}]")
+        # Golden-state restart + per-lane SEU flips.
+        lines.append("    gs = gold_ff[cycle]")
+        for ff_i, ff in enumerate(flip_flops):
+            q = _local(net_index[ff.output_net()])
+            lines.append(f"    {q} = m if (gs >> {ff_i}) & 1 else z")
+            lines.append(f"    {q} ^= flips[{ff_i}]")
+        for clk in self._clocks:
+            lines.append(f"    {_local(clk)} = z")
+        lines.append("    failed = z")
+        lines.append("    c = cycle")
+        lines.append("    while c < end:")
+        # Open-loop stimulus decode.
+        lines.append(f"{ind}vec = applied[c]")
+        for bit_pos, idx in self._open_inputs:
+            lines.append(f"{ind}{_local(idx)} = m if (vec >> {bit_pos}) & 1 else z")
+        # Reactive loopback: targets read the delayed faulty outputs.
+        for t, (_src, tgt, _sb, delay) in enumerate(self._taps):
+            lines.append(f"{ind}{_local(tgt)} = s{t}[c % {delay}]")
+        # Combinational settle, fully inlined.
+        lines.extend(self._gate_lines(net_index, ind))
+        # Failure criterion, fully inlined.
+        lines.append(f"{ind}gv = gold_out[c]")
+        lines.append(f"{ind}fail_c = z")
+        if self._data_pairs:
+            lines.append(f"{ind}beat = z")
+        for vi, gb in self._valid_pairs:
+            lines.append(f"{ind}g = m if (gv >> {gb}) & 1 else z")
+            lines.append(f"{ind}fail_c |= {_local(vi)} ^ g")
+            if self._data_pairs:
+                lines.append(f"{ind}beat |= g | {_local(vi)}")
+        for di, gb in self._data_pairs:
+            lines.append(f"{ind}g = m if (gv >> {gb}) & 1 else z")
+            lines.append(f"{ind}fail_c |= ({_local(di)} ^ g) & beat")
+        lines.extend(
+            [
+                f"{ind}newly = fail_c & ~failed",
+                f"{ind}if newly:",
+                f"{ind}    failed |= newly",
+                f"{ind}    lat = c - cycle",
+                f"{ind}    while newly:",
+                f"{ind}        low = newly & -newly",
+                f"{ind}        latencies[low.bit_length() - 1] = lat",
+                f"{ind}        newly ^= low",
+            ]
+        )
+        # Shift the faulty outputs into the loopback pipelines.
+        for t, (src, _tgt, _sb, delay) in enumerate(self._taps):
+            lines.append(f"{ind}s{t}[c % {delay}] = {_local(src)}")
+        # Two-phase tick: read every D before writing any Q.
+        for ff_i, ff in enumerate(flip_flops):
+            d = _local(net_index[ff.connections["D"]])
+            if "RN" in ff.connections:
+                rn = _local(net_index[ff.connections["RN"]])
+                lines.append(f"{ind}t{ff_i} = {d} & {rn}")
+            else:
+                lines.append(f"{ind}t{ff_i} = {d}")
+        for ff_i, ff in enumerate(flip_flops):
+            lines.append(f"{ind}{_local(net_index[ff.output_net()])} = t{ff_i}")
+        lines.append(f"{ind}c += 1")
+        # Early retirement: every lane failed or provably re-converged.
+        lines.append(f"{ind}if (c - cycle) % {check} == 0 or c == end:")
+        chk = ind + "    "
+        lines.append(f"{chk}gs = gold_ff[c]")
+        lines.append(f"{chk}diff = z")
+        for q_idx, ff_i in self._relevant_pairs:
+            lines.append(
+                f"{chk}diff |= {_local(q_idx)} ^ (m if (gs >> {ff_i}) & 1 else z)"
+            )
+        for t, (_src, _tgt, sb, delay) in enumerate(self._taps):
+            lines.append(f"{chk}for past in range(max(0, c - {delay}), c):")
+            lines.append(
+                f"{chk}    diff |= s{t}[past % {delay}]"
+                f" ^ (m if (gold_out[past] >> {sb}) & 1 else z)"
+            )
+        lines.append(f"{chk}if ((failed | ~diff) & m) == m:")
+        lines.append(f"{chk}    break")
+        lines.append("    return failed & m, c - cycle")
+
+        namespace: Dict[str, object] = {"fb": self._fallbacks}
+        exec("\n".join(lines), namespace)  # noqa: S102 - generated from our own netlist
+        return namespace["_sweep"]
+
+    # ------------------------------------------------------------------ API
+
+    def run_sweep(
+        self,
+        cycle: int,
+        end: int,
+        ff_indices: Sequence[int],
+    ) -> Tuple[int, Dict[int, int], int]:
+        """Run one fused sweep: lane *j* flips ``ff_indices[j]`` at *cycle*.
+
+        Returns ``(failed_mask, latencies, cycles_simulated)`` with the
+        exact :meth:`FaultInjector.run_batch` semantics.
+        """
+        n = len(ff_indices)
+        m = lane_mask(n)
+        golden = self.golden
+        flips = [0] * max(1, self._n_ffs)
+        for lane, ff_idx in enumerate(ff_indices):
+            flips[ff_idx] |= 1 << lane
+        slots: List[List[int]] = []
+        for _src, _tgt, out_bit, delay in self._taps:
+            pipeline = [0] * delay
+            for past in range(cycle - delay, cycle):
+                if past >= 0:
+                    bit = (golden.outputs[past] >> out_bit) & 1
+                    pipeline[past % delay] = m if bit else 0
+            slots.append(pipeline)
+        latencies: Dict[int, int] = {}
+        failed, cycles = self._fn(
+            cycle,
+            end,
+            m,
+            flips,
+            golden.applied_inputs,
+            golden.outputs,
+            golden.ff_state,
+            slots,
+            latencies,
+        )
+        return failed, latencies, cycles

@@ -1,12 +1,14 @@
 """Differential verification harness.
 
-Runs the two production simulation backends and the independent reference
+Runs every production simulation engine and the independent reference
 oracle on identical fuzzed stimulus and reports the *first divergence* as a
 (net, cycle, per-backend values) record:
 
-* **lane differential** — :class:`~repro.sim.compiled.CompiledSimulator`
-  with several bit-parallel lanes, each lane carrying a *different* random
-  stimulus stream, checked net-by-net and cycle-by-cycle against one
+* **lane differential** — each cycle backend
+  (:class:`~repro.sim.compiled.CompiledSimulator` and
+  :class:`~repro.sim.vectorized.NumPyWideSimulator`) with several
+  bit-parallel lanes, each lane carrying a *different* random stimulus
+  stream, checked net-by-net and cycle-by-cycle against one
   :class:`~repro.verify.oracle.OracleSimulator` per lane.  This covers both
   the generated gate code and lane independence of the bit-parallel trick;
 * **event differential** — :class:`~repro.sim.event.EventDrivenSimulator`
@@ -17,7 +19,10 @@ oracle on identical fuzzed stimulus and reports the *first divergence* as a
   :meth:`~repro.faultinjection.injector.FaultInjector.run_batch` (with its
   lane packing, early retirement and reactive loopback replay) is replayed
   as a single-lane brute-force oracle re-simulation that uses none of those
-  optimisations; verdict or error-latency mismatches are divergences.
+  optimisations; verdict or error-latency mismatches are divergences.  The
+  check runs once per enrolled injector backend — ``compiled``, ``numpy``
+  and the ``fused`` sweep kernel — against a *shared* brute-force referee,
+  so swapping substrates can never silently change campaign outcomes.
 
 ``verify_seed``/``verify_seeds`` tie the three together over fuzzed circuits
 and are what ``python -m repro.experiments verify`` and the CI fuzz stage
@@ -29,12 +34,12 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faultinjection.classify import AnyOutputCriterion
 from ..faultinjection.injector import FaultInjector
 from ..netlist.core import Netlist
-from ..sim.compiled import CompiledSimulator
+from ..sim.backend import BACKEND_NAMES, CYCLE_BACKENDS, create_backend
 from ..sim.event import EventDrivenSimulator
 from ..sim.logic import ONE, X, ZERO
 from ..sim.testbench import GoldenTrace, Testbench
@@ -133,15 +138,18 @@ def run_lane_differential(
     spec: FuzzSpec,
     n_lanes: int = 3,
     stop_at_first: bool = True,
+    backend: str = "compiled",
 ) -> Tuple[List[Divergence], int]:
-    """Compiled simulator (one stimulus per lane) vs. one oracle per lane.
+    """One cycle backend (one stimulus per lane) vs. one oracle per lane.
 
-    Returns ``(divergences, comparisons)``; with ``stop_at_first`` the run
-    ends at the first mismatching (net, cycle, lane).
+    *backend* names any cycle substrate from
+    :data:`repro.sim.backend.CYCLE_BACKENDS`.  Returns ``(divergences,
+    comparisons)``; with ``stop_at_first`` the run ends at the first
+    mismatching (net, cycle, lane).
     """
     schedules = [generate_schedule(netlist, spec, lane=j) for j in range(n_lanes)]
-    compiled = CompiledSimulator(netlist, n_lanes=n_lanes)
-    compiled.reset()
+    sim = create_backend(backend, netlist, n_lanes=n_lanes)
+    sim.reset()
     oracles = [OracleSimulator(netlist) for _ in range(n_lanes)]
     for oracle in oracles:
         oracle.reset()
@@ -159,12 +167,12 @@ def run_lane_differential(
                 bit = (schedules[j][cycle] >> i) & 1
                 lanes_value |= bit << j
                 oracles[j].set_input(name, bit)
-            compiled.set_input_lanes(name, lanes_value)
-        compiled.eval_comb()
+            sim.set_input_lanes(name, lanes_value)
+        sim.eval_comb()
         for oracle in oracles:
             oracle.eval_comb()
         for name in nets:
-            packed = compiled.get(name)
+            packed = sim.get(name)
             for j in range(n_lanes):
                 comparisons += 1
                 got = (packed >> j) & 1
@@ -172,16 +180,16 @@ def run_lane_differential(
                 if got != want:
                     divergences.append(
                         Divergence(
-                            kind="compiled-vs-oracle",
+                            kind=f"{backend}-vs-oracle",
                             cycle=cycle,
                             net=name,
-                            values={"compiled": got, "oracle": want},
+                            values={backend: got, "oracle": want},
                             detail=f"lane {j} of {n_lanes}",
                         )
                     )
                     if stop_at_first:
                         return divergences, comparisons
-        compiled.tick()
+        sim.tick()
         for oracle in oracles:
             oracle.tick()
     return divergences, comparisons
@@ -303,17 +311,26 @@ def run_injector_check(
     spec: FuzzSpec,
     n_injection_cycles: int = 3,
     stop_at_first: bool = True,
+    backends: Sequence[str] = ("compiled",),
 ) -> Tuple[List[Divergence], int]:
     """Replay ``FaultInjector.run_batch`` verdicts against brute force.
 
     Every flip-flop is injected (one lane each) at a handful of cycles drawn
     deterministically from the spec seed; the bit-parallel batch verdict and
     error latency must match the oracle's single-lane re-simulation exactly.
+    One ``FaultInjector`` per entry of *backends* runs the same sweeps
+    against a **shared** brute-force referee, so enrolling another substrate
+    costs one extra batch per cycle, not another oracle re-simulation.
     """
     testbench = generate_testbench(netlist, spec)
     golden = testbench.run_golden()
     criterion = AnyOutputCriterion.all_outputs(netlist)
-    injector = FaultInjector(netlist, testbench, golden, criterion, check_interval=4)
+    injectors = {
+        backend: FaultInjector(
+            netlist, testbench, golden, criterion, check_interval=4, backend=backend
+        )
+        for backend in backends
+    }
 
     rng = random.Random(f"inject:{spec.seed}")
     first = min(2, golden.n_cycles - 1)
@@ -325,35 +342,40 @@ def run_injector_check(
     divergences: List[Divergence] = []
     checked = 0
     for cycle in cycles:
-        outcome = injector.run_batch(cycle, ff_indices)
+        outcomes = {
+            backend: injector.run_batch(cycle, ff_indices)
+            for backend, injector in injectors.items()
+        }
         for lane, ff_idx in enumerate(ff_indices):
-            checked += 1
-            batch_failed = bool((outcome.failed_mask >> lane) & 1)
-            batch_latency = outcome.latencies.get(lane)
             ref_failed, ref_latency = brute_force_seu(
                 netlist, testbench, golden, cycle, ff_idx
             )
             ff_name = flip_flops[ff_idx].name
-            if batch_failed != ref_failed:
-                divergences.append(
-                    Divergence(
-                        kind="injector-vs-bruteforce",
-                        cycle=cycle,
-                        net=ff_name,
-                        values={"injector": batch_failed, "bruteforce": ref_failed},
-                        detail="failure verdict mismatch",
+            for backend, outcome in outcomes.items():
+                checked += 1
+                label = f"injector[{backend}]"
+                batch_failed = bool((outcome.failed_mask >> lane) & 1)
+                batch_latency = outcome.latencies.get(lane)
+                if batch_failed != ref_failed:
+                    divergences.append(
+                        Divergence(
+                            kind=f"{label}-vs-bruteforce",
+                            cycle=cycle,
+                            net=ff_name,
+                            values={label: batch_failed, "bruteforce": ref_failed},
+                            detail="failure verdict mismatch",
+                        )
                     )
-                )
-            elif batch_failed and batch_latency != ref_latency:
-                divergences.append(
-                    Divergence(
-                        kind="injector-vs-bruteforce",
-                        cycle=cycle,
-                        net=ff_name,
-                        values={"injector": batch_latency, "bruteforce": ref_latency},
-                        detail="error latency mismatch",
+                elif batch_failed and batch_latency != ref_latency:
+                    divergences.append(
+                        Divergence(
+                            kind=f"{label}-vs-bruteforce",
+                            cycle=cycle,
+                            net=ff_name,
+                            values={label: batch_latency, "bruteforce": ref_latency},
+                            detail="error latency mismatch",
+                        )
                     )
-                )
             if divergences and stop_at_first:
                 return divergences, checked
     return divergences, checked
@@ -367,8 +389,16 @@ def verify_seed(
     with_event: bool = True,
     with_injector: bool = True,
     n_lanes: int = 3,
+    cycle_backends: Sequence[str] = CYCLE_BACKENDS,
+    injector_backends: Sequence[str] = BACKEND_NAMES,
 ) -> SeedReport:
-    """Run every differential check on one fuzzed circuit."""
+    """Run every differential check on one fuzzed circuit.
+
+    By default every cycle backend is lane-diffed against the oracle and
+    every injector substrate (including the fused sweep kernel) is replayed
+    against brute force, so a fuzz sweep certifies the whole pluggable
+    simulation substrate at once.
+    """
     netlist = generate_netlist(spec)
     stats = netlist.stats()
     report = SeedReport(
@@ -377,15 +407,20 @@ def verify_seed(
         n_ffs=stats.n_sequential,
         n_cycles=spec.n_cycles,
     )
-    divergences, comparisons = run_lane_differential(netlist, spec, n_lanes=n_lanes)
-    report.divergences.extend(divergences)
-    report.comparisons += comparisons
+    for backend in cycle_backends:
+        divergences, comparisons = run_lane_differential(
+            netlist, spec, n_lanes=n_lanes, backend=backend
+        )
+        report.divergences.extend(divergences)
+        report.comparisons += comparisons
     if with_event:
         divergences, comparisons = run_event_differential(netlist, spec)
         report.divergences.extend(divergences)
         report.comparisons += comparisons
     if with_injector:
-        divergences, checked = run_injector_check(netlist, spec)
+        divergences, checked = run_injector_check(
+            netlist, spec, backends=injector_backends
+        )
         report.divergences.extend(divergences)
         report.injections_checked = checked
     return report
