@@ -16,7 +16,6 @@ lanes/sec (simulated lane-cycles per wall second).
 from __future__ import annotations
 
 import argparse
-import json
 import multiprocessing
 import sys
 import time
@@ -24,27 +23,13 @@ from typing import Dict, List
 
 import pytest
 
-from repro.campaigns import CampaignEngine, CampaignSpec
+from repro.campaigns import CampaignEngine
 from repro.data import DATASET_PRESETS
 from repro.sim import BACKEND_NAMES
 
-
-def _spec_for_scale(
-    scale: str, n_injections: int | None = None, backend: str = "compiled"
-) -> CampaignSpec:
-    return CampaignSpec.from_dataset_spec(
-        DATASET_PRESETS[scale],
-        schedule="stream",
-        n_injections=n_injections,
-        backend=backend,
-    )
-
-
-def _result_key(result) -> Dict[str, List[int]]:
-    return {
-        name: [r.n_injections, r.n_failures, r.latency_sum]
-        for name, r in result.results.items()
-    }
+from common import campaign_spec as _spec_for_scale
+from common import result_counters as _result_key
+from common import write_json
 
 
 def run_sweep(
@@ -134,9 +119,7 @@ def main(argv: List[str] | None = None) -> int:
             f"{row['speedup']:>7.2f}x {row['forward_runs']:>9} "
             f"{row['lane_cycles_per_sec'] / 1e6:>9.2f}"
         )
-    if args.out:
-        with open(args.out, "w") as fh:
-            json.dump({"scale": args.scale, "rows": rows}, fh, indent=2)
+    write_json(args.out, {"scale": args.scale, "rows": rows})
     return 0
 
 

@@ -1,0 +1,151 @@
+"""Benchmark: adaptive injection scheduler vs. per-time-slot batches.
+
+The acceptance benchmark of the scheduler work: one full flat campaign on
+the synthesized xgmac MAC (every flip-flop, paper-style injection draws),
+executed once with the PR-3 baseline (``scheduler="batch"``: one forward
+run per time slot, drained batches) and once per adaptive configuration
+(``scheduler="adaptive"``: mixed-cycle lane refill, compaction, wide
+passes).  Run standalone to reproduce ``benchmarks/results/scheduler.json``::
+
+    python benchmarks/bench_scheduler.py --scale full --injections 170 \
+        --out benchmarks/results/scheduler.json
+
+Per-flip-flop counters are asserted identical across every row — the
+speedups carry no accuracy trade-off.  Through pytest the module keeps a
+tiny-scale smoke row so CI stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.faultinjection import StatisticalFaultCampaign
+
+from common import preset_workload_parts, result_counters, write_json
+
+#: The PR-3 configuration every row is normalized against.
+BASELINE = ("fused", "batch")
+
+#: (backend, scheduler) rows measured by default.
+DEFAULT_CONFIGS = [
+    ("fused", "batch"),
+    ("compiled", "batch"),
+    ("fused", "adaptive"),
+    ("compiled", "adaptive"),
+]
+
+
+def run_campaign_row(
+    parts, backend: str, scheduler: str, n_injections: int, seed: int = 0
+) -> Dict:
+    """Time one full flat campaign; return the JSON-ready row."""
+    campaign = StatisticalFaultCampaign(
+        parts.netlist,
+        parts.testbench,
+        parts.criterion,
+        active_window=parts.active_window,
+        golden=parts.golden,
+        backend=backend,
+        scheduler=scheduler,
+    )
+    start = time.perf_counter()
+    result = campaign.run(n_injections=n_injections, seed=seed)
+    wall = time.perf_counter() - start
+    total = sum(r.n_injections for r in result.results.values())
+    return {
+        "backend": backend,
+        "scheduler": scheduler,
+        "wall_seconds": round(wall, 3),
+        "injections": total,
+        "injections_per_sec": round(total / wall),
+        "forward_runs": result.n_forward_runs,
+        "lane_cycles": result.total_lane_cycles,
+        "counters": result_counters(result),
+    }
+
+
+def run_sweep(
+    scale: str, n_injections: int, configs=DEFAULT_CONFIGS, seed: int = 0
+) -> Dict:
+    """Measure every configuration; assert bit-identical per-ff counters."""
+    parts = preset_workload_parts(scale)
+    stats = parts.netlist.stats()
+    report: Dict = {
+        "scale": scale,
+        "circuit": parts.netlist.name,
+        "n_cells": stats.n_cells,
+        "n_ffs": stats.n_sequential,
+        "n_injections_per_ff": n_injections,
+        "baseline": {"backend": BASELINE[0], "scheduler": BASELINE[1]},
+        "rows": [],
+    }
+    reference = None
+    baseline_ips: Optional[float] = None
+    for backend, scheduler in configs:
+        row = run_campaign_row(parts, backend, scheduler, n_injections, seed)
+        counters = row.pop("counters")
+        if reference is None:
+            reference = counters
+        elif counters != reference:
+            raise AssertionError(
+                f"{backend}/{scheduler} per-ff counters differ from "
+                f"{configs[0][0]}/{configs[0][1]}"
+            )
+        row["identical"] = True
+        if (backend, scheduler) == BASELINE:
+            baseline_ips = row["injections_per_sec"]
+        report["rows"].append(row)
+    if baseline_ips:
+        for row in report["rows"]:
+            row["speedup_vs_baseline"] = round(
+                row["injections_per_sec"] / baseline_ips, 2
+            )
+        report["best_speedup_vs_baseline"] = max(
+            row["speedup_vs_baseline"] for row in report["rows"]
+        )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="full", choices=["tiny", "mini", "full"])
+    parser.add_argument(
+        "--injections", type=int, default=170, help="injections per flip-flop"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="write the sweep as JSON")
+    args = parser.parse_args(argv)
+
+    report = run_sweep(args.scale, args.injections, seed=args.seed)
+    print(
+        f"circuit={report['circuit']} cells={report['n_cells']} "
+        f"ffs={report['n_ffs']} injections/ff={report['n_injections_per_ff']}"
+    )
+    print(f"{'backend':>9} {'scheduler':>9} {'wall [s]':>9} {'inj/s':>8} {'fwd':>6} {'vs base':>8}")
+    for row in report["rows"]:
+        print(
+            f"{row['backend']:>9} {row['scheduler']:>9} {row['wall_seconds']:>9.2f} "
+            f"{row['injections_per_sec']:>8} {row['forward_runs']:>6} "
+            f"{row.get('speedup_vs_baseline', 1.0):>7.2f}x"
+        )
+    write_json(args.out, report)
+    return 0
+
+
+# ------------------------------------------------------------ pytest hooks
+
+
+def test_bench_scheduler_smoke(benchmark):
+    """Tiny-scale sweep: adaptive and batch agree bit-for-bit."""
+    report = benchmark.pedantic(
+        lambda: run_sweep("tiny", 6), rounds=1, iterations=1
+    )
+    assert all(row["identical"] for row in report["rows"])
+    assert report["best_speedup_vs_baseline"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

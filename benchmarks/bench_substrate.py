@@ -24,17 +24,18 @@ on the tiny MAC so CI stays fast.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from typing import Dict, List, Optional
 
 import pytest
 
-from repro.circuits import build_xgmac_workload, get_circuit, make_xgmac
+from repro.circuits import make_xgmac
 from repro.faultinjection import FaultInjector, PacketInterfaceCriterion
 from repro.features import FeatureExtractor
 from repro.sim import BACKEND_NAMES, CompiledSimulator, create_backend
+
+from common import build_workload_parts, write_json
 
 #: The seed repo ran every campaign on the compiled backend at this width;
 #: all speedups are reported relative to it.
@@ -81,7 +82,10 @@ def measure_sweep_throughput(workload_parts, backend: str, repeats: int = 3) -> 
 
 def run_substrate_sweep(circuit: str = "xgmac", n_cycles: int = 20) -> Dict:
     """Measure every backend on *circuit*; returns the JSON-ready report."""
-    netlist = get_circuit(circuit)
+    workload_parts = build_workload_parts(
+        circuit=circuit, n_frames=4, min_len=2, max_len=4, gap=12, seed=7
+    )
+    netlist = workload_parts.netlist
     stats = netlist.stats()
     report: Dict = {
         "circuit": circuit,
@@ -109,13 +113,13 @@ def run_substrate_sweep(circuit: str = "xgmac", n_cycles: int = 20) -> Dict:
 
     # Sweep-level comparison on a real workload (criterion + loopback + early
     # retirement), sized down so the full circuit stays minutes-free.
-    workload = build_xgmac_workload(
-        netlist, n_frames=4, min_len=2, max_len=4, gap=12, seed=7
+    parts = (
+        netlist,
+        workload_parts.testbench,
+        workload_parts.golden,
+        workload_parts.criterion,
+        workload_parts.inject_cycle,
     )
-    golden = workload.testbench.run_golden()
-    criterion = PacketInterfaceCriterion(workload.valid_nets, workload.data_nets)
-    first, _last = workload.active_window
-    parts = (netlist, workload.testbench, golden, criterion, first + 4)
     sweep_base: Optional[float] = None
     for backend in BACKEND_NAMES:
         lps = measure_sweep_throughput(parts, backend)
@@ -169,10 +173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{row['backend']:>9} {'-':>7} "
             f"{row['lane_cycles_per_sec'] / 1e6:>8.2f} {row['speedup_vs_seed']:>7.2f}x"
         )
-    if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(report, fh, indent=2)
-        print(f"wrote {args.out}")
+    write_json(args.out, report)
     return 0
 
 

@@ -13,12 +13,13 @@ or through pytest-benchmark with the rest of the suite (tiny scale).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from typing import Dict, List
 
 from repro.verify import FUZZ_SCALES, verify_seeds
+
+from common import write_json
 
 
 def run_sweep(scale: str, n_seeds: int) -> Dict:
@@ -57,9 +58,7 @@ def main(argv: List[str] | None = None) -> int:
         f"in {row['wall_seconds']}s "
         f"({row['comparisons_per_second']:,}/s, {row['seeds_per_second']} seeds/s)"
     )
-    if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(row, fh, indent=2)
+    write_json(args.out, row)
     return 0
 
 

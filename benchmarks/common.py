@@ -1,0 +1,107 @@
+"""Shared circuit/workload setup and reporting helpers for the benchmarks.
+
+``bench_parallel``, ``bench_substrate``, ``bench_scheduler`` and
+``bench_verify`` used to each carry their own copy of the campaign-spec
+construction, the xgmac workload recipe and the result-JSON plumbing; this
+module is the single home for those pieces so the benchmarks stay focused on
+what they measure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.campaigns import CampaignSpec
+from repro.circuits import build_xgmac_workload, get_circuit
+from repro.data import DATASET_PRESETS
+from repro.faultinjection import PacketInterfaceCriterion
+from repro.netlist.core import Netlist
+from repro.sim.testbench import GoldenTrace, Testbench
+
+
+def campaign_spec(
+    scale: str,
+    n_injections: Optional[int] = None,
+    backend: str = "compiled",
+    scheduler: str = "adaptive",
+    schedule: str = "stream",
+) -> CampaignSpec:
+    """Campaign spec mirroring a dataset preset (the benchmark workloads)."""
+    return CampaignSpec.from_dataset_spec(
+        DATASET_PRESETS[scale],
+        schedule=schedule,
+        n_injections=n_injections,
+        backend=backend,
+        scheduler=scheduler,
+    )
+
+
+def result_counters(result) -> Dict[str, List[int]]:
+    """Per-flip-flop counters — the cross-configuration identity check."""
+    return {
+        name: [r.n_injections, r.n_failures, r.latency_sum]
+        for name, r in result.results.items()
+    }
+
+
+@dataclass
+class WorkloadParts:
+    """One fully prepared injection workload (netlist through criterion)."""
+
+    netlist: Netlist
+    testbench: Testbench
+    golden: GoldenTrace
+    criterion: PacketInterfaceCriterion
+    active_window: tuple
+    #: A representative early injection cycle for single-batch benchmarks.
+    inject_cycle: int
+
+
+def build_workload_parts(
+    circuit: str = "xgmac",
+    n_frames: int = 4,
+    min_len: int = 2,
+    max_len: int = 4,
+    gap: int = 12,
+    seed: int = 7,
+) -> WorkloadParts:
+    """Synthesize *circuit*, build its frame workload and record golden."""
+    netlist = get_circuit(circuit)
+    workload = build_xgmac_workload(
+        netlist, n_frames=n_frames, min_len=min_len, max_len=max_len, gap=gap, seed=seed
+    )
+    golden = workload.testbench.run_golden()
+    criterion = PacketInterfaceCriterion(workload.valid_nets, workload.data_nets)
+    first, _last = workload.active_window
+    return WorkloadParts(
+        netlist=netlist,
+        testbench=workload.testbench,
+        golden=golden,
+        criterion=criterion,
+        active_window=workload.active_window,
+        inject_cycle=first + 4,
+    )
+
+
+def preset_workload_parts(scale: str) -> WorkloadParts:
+    """Workload parts for a dataset preset (full-campaign benchmarks)."""
+    spec = DATASET_PRESETS[scale]
+    return build_workload_parts(
+        circuit=spec.circuit,
+        n_frames=spec.n_frames,
+        min_len=spec.min_len,
+        max_len=spec.max_len,
+        gap=spec.gap,
+        seed=spec.workload_seed,
+    )
+
+
+def write_json(path: Optional[str], payload: Dict) -> None:
+    """Write *payload* as pretty JSON when a path was requested."""
+    if path is None:
+        return
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {path}")

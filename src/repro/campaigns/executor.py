@@ -30,6 +30,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 from ..faultinjection.campaign import CampaignResult, FlipFlopResult
 from ..faultinjection.injector import FaultInjector
+from ..faultinjection.scheduler import AdaptiveScheduler
 from .partition import Bucket, legacy_buckets, partition_shards, stream_buckets
 from .spec import CampaignContext, CampaignSpec, build_context
 from .store import CampaignStore
@@ -94,7 +95,15 @@ class _Accumulator:
 
 
 class _ShardRunner:
-    """Executes buckets against one injector (one per process)."""
+    """Executes buckets against one injector (one per process).
+
+    With the default ``adaptive`` scheduler a shard's buckets all feed one
+    long-lived :class:`~repro.faultinjection.scheduler.AdaptiveScheduler`,
+    so lanes freed by early retirement are refilled with the shard's later
+    injections instead of draining per-bucket batches.  ``scheduler="batch"``
+    keeps the original one-forward-run-per-time-slot execution.  Per-lane
+    verdicts are identical either way, so shard merges stay bit-exact.
+    """
 
     def __init__(self, spec: CampaignSpec, context: CampaignContext) -> None:
         self.spec = spec
@@ -107,6 +116,11 @@ class _ShardRunner:
             check_interval=spec.check_interval,
             backend=spec.backend,
         )
+        self.scheduler: Optional[AdaptiveScheduler] = None
+        if spec.scheduler == "adaptive":
+            # max_lanes=None: backend-tuned wide passes (spec.max_lanes is
+            # the *batch* chunk width; refill keeps wider passes saturated).
+            self.scheduler = AdaptiveScheduler(self.injector, max_lanes=None)
 
     @classmethod
     def from_spec(cls, spec: CampaignSpec) -> "_ShardRunner":
@@ -114,6 +128,8 @@ class _ShardRunner:
 
     def run_shard(self, buckets: Sequence[Tuple[int, Sequence[str]]]) -> Dict:
         """Simulate a shard's buckets; return mergeable counters."""
+        if self.scheduler is not None:
+            return self._run_shard_scheduled(buckets)
         spec = self.spec
         injector = self.injector
         ff: Dict[str, List[int]] = {}
@@ -137,6 +153,29 @@ class _ShardRunner:
             "ff": ff,
             "n_forward_runs": n_runs,
             "total_lane_cycles": lane_cycles,
+            "done_cycles": [cycle for cycle, _ in buckets],
+        }
+
+    def _run_shard_scheduled(self, buckets: Sequence[Tuple[int, Sequence[str]]]) -> Dict:
+        injector = self.injector
+        requests: List[Tuple[int, int]] = []
+        names: List[str] = []
+        for cycle, lanes in buckets:
+            for name in lanes:
+                requests.append((cycle, injector.ff_index(name)))
+                names.append(name)
+        outcome = self.scheduler.run(requests, horizon=self.spec.horizon)
+        ff: Dict[str, List[int]] = {}
+        for name, (failed, latency) in zip(names, outcome.verdicts):
+            rec = ff.setdefault(name, [0, 0, 0])
+            rec[0] += 1
+            if failed:
+                rec[1] += 1
+                rec[2] += latency
+        return {
+            "ff": ff,
+            "n_forward_runs": outcome.stats.n_passes,
+            "total_lane_cycles": outcome.stats.lane_cycles,
             "done_cycles": [cycle for cycle, _ in buckets],
         }
 

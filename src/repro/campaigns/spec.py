@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..circuits.library import get_circuit
 from ..circuits.workloads import XgMacWorkload, build_xgmac_workload
+from ..faultinjection.scheduler import EXECUTION_SCHEDULERS
 from ..faultinjection.classify import (
     AnyOutputCriterion,
     FailureCriterion,
@@ -51,11 +52,14 @@ class CampaignSpec:
       *m > n* injections by simulating only the ``m - n`` delta.
 
     ``backend`` selects the simulation substrate (``"compiled"``,
-    ``"numpy"`` or ``"fused"``; see :mod:`repro.sim.backend`).  Per-lane
-    verdicts and latencies are backend-invariant — differentially verified
-    by ``repro.verify`` — so the backend is an execution detail: it is
+    ``"numpy"`` or ``"fused"``; see :mod:`repro.sim.backend`) and
+    ``scheduler`` the execution strategy (``"adaptive"`` lane refill across
+    injection cycles — the default — or ``"batch"`` per-time-slot forward
+    runs; see :mod:`repro.faultinjection.scheduler`).  Per-lane verdicts
+    and latencies are invariant under both knobs — differentially verified
+    by ``repro.verify`` — so they are execution details: both are
     **excluded from the cache identity**, and snapshots produced with one
-    backend seed or satisfy runs on any other.
+    backend/scheduler seed or satisfy runs on any other.
     """
 
     circuit: str = "xgmac_mini"
@@ -74,6 +78,7 @@ class CampaignSpec:
     max_lanes: int = 256
     check_interval: int = 8
     backend: str = "compiled"
+    scheduler: str = "adaptive"
 
     def __post_init__(self) -> None:
         if self.schedule not in SCHEDULES:
@@ -83,6 +88,11 @@ class CampaignSpec:
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {BACKEND_NAMES}"
+            )
+        if self.scheduler not in EXECUTION_SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {EXECUTION_SCHEDULERS}"
             )
         if self.n_injections <= 0:
             raise ValueError("n_injections must be positive")
@@ -110,13 +120,15 @@ class CampaignSpec:
     def _identity_dict(self) -> Dict[str, object]:
         """Fields that determine the campaign's *results*.
 
-        The simulation backend is deliberately absent: all backends produce
-        bit-identical per-lane outcomes (differentially verified), so cached
-        results are shared across backends and the original compiled-backend
-        cache keys stay valid.
+        The simulation backend and the execution scheduler are deliberately
+        absent: every backend × scheduler combination produces bit-identical
+        per-lane outcomes (differentially verified), so cached results are
+        shared across all of them and the original compiled-backend cache
+        keys stay valid.
         """
         payload = self.to_dict()
         payload.pop("backend", None)
+        payload.pop("scheduler", None)
         return payload
 
     def cache_key(self) -> str:
@@ -147,11 +159,13 @@ class CampaignSpec:
         schedule: str = "legacy",
         n_injections: Optional[int] = None,
         backend: str = "compiled",
+        scheduler: str = "adaptive",
     ) -> "CampaignSpec":
         """Mirror a :class:`repro.data.DatasetSpec` (duck-typed to avoid the
         circular import; ``repro.data`` builds on this package)."""
         return cls(
             backend=backend,
+            scheduler=scheduler,
             circuit=dataset_spec.circuit,
             n_frames=dataset_spec.n_frames,
             min_len=dataset_spec.min_len,

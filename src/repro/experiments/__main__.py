@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..campaigns import CampaignEngine, CampaignSpec
+from ..faultinjection.scheduler import EXECUTION_SCHEDULERS
 from ..data import DATASET_PRESETS, default_cache_dir, get_dataset
 from ..sim.backend import BACKEND_NAMES
 from ..verify import verify_seeds
@@ -68,10 +69,12 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
         schedule="stream",
         n_injections=args.injections,
         backend=args.backend,
+        scheduler=args.scheduler,
     )
     print(
         f"=== campaign === circuit={spec.circuit} injections={spec.n_injections} "
-        f"backend={spec.backend} jobs={args.jobs} cache={cache_dir}",
+        f"backend={spec.backend} scheduler={spec.scheduler} jobs={args.jobs} "
+        f"cache={cache_dir}",
         flush=True,
     )
     engine = CampaignEngine(
@@ -80,7 +83,17 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
         cache_dir=cache_dir,
         progress=lambda done, total: print(f"  shard {done}/{total}", flush=True),
     )
-    result = engine.run()
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        result = engine.run()
+    finally:
+        if profiler is not None:
+            profiler.disable()
     report = engine.last_report
     n_ffs = len(result.results)
     total_injections = sum(r.n_injections for r in result.results.values())
@@ -99,6 +112,11 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
             f"across {report.n_shards} shards"
         )
     print(f"mean FDR: {result.mean_fdr():.4f}, wall: {report.wall_seconds:.2f}s")
+    if profiler is not None:
+        import pstats
+
+        print(f"\n--- cProfile: top {args.profile_top} by cumulative time ---")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile_top)
     if out_dir is not None:
         (out_dir / "campaign.json").write_text(result.to_json())
 
@@ -177,6 +195,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=list(BACKEND_NAMES),
         help="campaign simulation substrate (results are backend-invariant; "
         "see docs/simulators.md)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="adaptive",
+        choices=list(EXECUTION_SCHEDULERS),
+        help="campaign execution strategy: 'adaptive' keeps lanes full via "
+        "mixed-cycle refill, 'batch' runs one forward simulation per time "
+        "slot (results are scheduler-invariant; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="campaign command only: wrap the run in cProfile and print the "
+        "top functions by cumulative time",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="how many rows of the cProfile report to print (default: 25)",
     )
     parser.add_argument(
         "--cache-dir",

@@ -10,6 +10,12 @@ from .classify import (
 from .faults import SetFault, SeuFault
 from .fdr import FdrEstimate, required_sample_size, wilson_interval
 from .injector import BatchOutcome, FaultInjector, relevant_flip_flops
+from .scheduler import (
+    AdaptiveScheduler,
+    InjectionRequest,
+    ScheduledOutcome,
+    SchedulerStats,
+)
 
 __all__ = [
     "CampaignResult",
@@ -27,4 +33,8 @@ __all__ = [
     "BatchOutcome",
     "FaultInjector",
     "relevant_flip_flops",
+    "AdaptiveScheduler",
+    "InjectionRequest",
+    "ScheduledOutcome",
+    "SchedulerStats",
 ]

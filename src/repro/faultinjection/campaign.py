@@ -7,11 +7,27 @@ injected "at different times during the active phase of the simulation".
 Scheduling strategy
 -------------------
 Injection times are drawn per flip-flop, without replacement, from a pool of
-*time slots* sampled uniformly inside the active window.  All injections
-sharing a time slot are simulated together as bit-parallel lanes of a single
-forward run (see :class:`~repro.faultinjection.injector.FaultInjector`), so
-the number of forward simulations is bounded by ``n_time_slots × ceil(lanes
-/ max_lanes)`` instead of ``n_ffs × n_injections``.
+*time slots* sampled uniformly inside the active window.  How the draws are
+*executed* is a separate knob (``scheduler=``):
+
+``adaptive`` (default)
+    All draws feed one long-lived
+    :class:`~repro.faultinjection.scheduler.AdaptiveScheduler`: lanes are
+    activated at their own injection cycles, retired lanes are refilled
+    from the pending queue, and drained passes are compacted — so the
+    whole campaign runs in a handful of saturated forward passes.
+
+``batch``
+    The paper-faithful reference execution: all injections sharing a time
+    slot are simulated together as bit-parallel lanes of a single forward
+    run (see :class:`~repro.faultinjection.injector.FaultInjector`), so the
+    number of forward simulations is bounded by ``n_time_slots ×
+    ceil(lanes / max_lanes)`` instead of ``n_ffs × n_injections``.
+
+Per-injection verdicts and latencies are bit-identical between the two
+(differentially verified per fuzz seed), so the per-flip-flop FDR results do
+not depend on the choice; only the engine-cost metrics
+(``n_forward_runs``, ``total_lane_cycles``) reflect the execution shape.
 """
 
 from __future__ import annotations
@@ -27,6 +43,7 @@ from ..sim.testbench import GoldenTrace, Testbench
 from .classify import FailureCriterion
 from .fdr import FdrEstimate
 from .injector import FaultInjector
+from .scheduler import EXECUTION_SCHEDULERS
 
 __all__ = ["FlipFlopResult", "CampaignResult", "StatisticalFaultCampaign"]
 
@@ -157,7 +174,18 @@ class StatisticalFaultCampaign:
     backend:
         Simulation substrate (``"compiled"``, ``"numpy"`` or ``"fused"``,
         see :mod:`repro.sim.backend`); results are backend-invariant.
+    scheduler:
+        Execution strategy: ``"adaptive"`` (lane refill across injection
+        cycles, default) or ``"batch"`` (one forward run per time slot).
+        Per-flip-flop results are scheduler-invariant.
+    scheduler_lanes:
+        Lane capacity of the adaptive scheduler's passes; ``None``
+        (default) picks the backend-tuned width — refill keeps wide
+        batches full, so the adaptive default is much wider than
+        ``max_lanes``.
     """
+
+    SCHEDULERS = EXECUTION_SCHEDULERS
 
     def __init__(
         self,
@@ -169,7 +197,15 @@ class StatisticalFaultCampaign:
         max_lanes: int = 256,
         check_interval: int = 8,
         backend: str = "compiled",
+        scheduler: str = "adaptive",
+        scheduler_lanes: Optional[int] = None,
     ) -> None:
+        if scheduler not in self.SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose from {self.SCHEDULERS}"
+            )
+        self.scheduler = scheduler
+        self.scheduler_lanes = scheduler_lanes
         self.netlist = netlist
         self.testbench = testbench
         self.criterion = criterion
@@ -233,23 +269,53 @@ class StatisticalFaultCampaign:
                 buckets.setdefault(cycle, []).append(ff_idx)
 
         ff_order = [ff.name for ff in self.netlist.flip_flops()]
-        done = 0
-        total = len(buckets)
-        for cycle in sorted(buckets):
-            lanes = buckets[cycle]
-            for chunk_start in range(0, len(lanes), self.max_lanes):
-                chunk = lanes[chunk_start : chunk_start + self.max_lanes]
-                outcome = self.injector.run_batch(cycle, chunk, horizon=horizon)
-                result.n_forward_runs += 1
-                result.total_lane_cycles += outcome.cycles_simulated * len(chunk)
-                for lane, ff_idx in enumerate(chunk):
-                    record = result.results[ff_order[ff_idx]]
-                    record.n_injections += 1
-                    if (outcome.failed_mask >> lane) & 1:
-                        record.n_failures += 1
-                        record.latency_sum += outcome.latencies.get(lane, 0)
-            done += 1
+        if self.scheduler == "adaptive":
+            requests = [
+                (cycle, ff_idx)
+                for cycle in sorted(buckets)
+                for ff_idx in buckets[cycle]
+            ]
+            scheduler_progress = None
             if progress is not None:
-                progress(done, total)
+                n_buckets = len(buckets)
+
+                def scheduler_progress(done: int, total: int) -> None:
+                    # Map completed injections onto the bucket scale so both
+                    # schedulers report comparable (done, total) ticks.
+                    progress(round(done / max(1, total) * n_buckets), n_buckets)
+
+            outcome = self.injector.run_scheduled(
+                requests,
+                horizon=horizon,
+                max_lanes=self.scheduler_lanes,
+                progress=scheduler_progress,
+            )
+            for (cycle, ff_idx), (failed, latency) in zip(requests, outcome.verdicts):
+                record = result.results[ff_order[ff_idx]]
+                record.n_injections += 1
+                if failed:
+                    record.n_failures += 1
+                    record.latency_sum += latency
+            result.n_forward_runs = outcome.stats.n_passes
+            result.total_lane_cycles = outcome.stats.lane_cycles
+        else:
+            done = 0
+            total = len(buckets)
+            for cycle in sorted(buckets):
+                lanes = buckets[cycle]
+                for chunk_start in range(0, len(lanes), self.max_lanes):
+                    chunk = lanes[chunk_start : chunk_start + self.max_lanes]
+                    outcome = self.injector.run_batch(cycle, chunk, horizon=horizon)
+                    result.n_forward_runs += 1
+                    result.total_lane_cycles += outcome.cycles_simulated * len(chunk)
+                    for lane, ff_idx in enumerate(chunk):
+                        record = result.results[ff_order[ff_idx]]
+                        record.n_injections += 1
+                        if (outcome.failed_mask >> lane) & 1:
+                            record.n_failures += 1
+                            record.latency_sum += outcome.latencies.get(lane, 0)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
         result.wall_seconds = time.monotonic() - start_time
         return result

@@ -26,12 +26,20 @@ per (circuit, workload) that runs the whole batch loop in a single generated
 function (:mod:`repro.sim.fused`).  All three produce bit-identical
 verdicts and latencies — cross-checked per fuzz seed by
 :mod:`repro.verify.diff`.
+
+Campaigns should prefer :meth:`FaultInjector.run_scheduled` over many
+:meth:`run_batch` calls: the adaptive scheduler
+(:mod:`repro.faultinjection.scheduler`) activates each injection at its own
+cycle inside one long-lived forward pass, refills lanes freed by early
+retirement, compacts drained batches and gates evaluation on the divergence
+cone — same verdicts, a multiple of the throughput (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netlist.core import Netlist
 from ..sim.backend import BACKEND_NAMES, create_backend
@@ -98,13 +106,20 @@ class BatchOutcome:
 
 @dataclass
 class _LoopTap:
-    """One bit of a loopback path: source output → delayed target input."""
+    """One bit of a loopback path: source output → delayed target input.
+
+    ``golden_bits[c]`` is the source output's golden value during cycle *c*,
+    extracted once at injector construction — batch setup and loopback
+    divergence checks used to re-shift the packed golden output vector on
+    every call.
+    """
 
     source_value_idx: int
     target_value_idx: int
     source_out_bit: int
     delay: int
     slots: List[object]
+    golden_bits: List[int]
 
 
 class FaultInjector:
@@ -156,13 +171,15 @@ class FaultInjector:
         lb_target_inputs: Set[int] = set()
         for path in testbench.loopbacks:
             for src, dst in zip(path.sources, path.targets):
+                bit = out_bit[src]
                 self._taps.append(
                     _LoopTap(
                         source_value_idx=self.sim.net_index[src],
                         target_value_idx=self.sim.net_index[dst],
-                        source_out_bit=out_bit[src],
+                        source_out_bit=bit,
                         delay=path.delay,
                         slots=[0] * path.delay,
+                        golden_bits=[(out >> bit) & 1 for out in golden.outputs],
                     )
                 )
                 lb_target_inputs.add(self.sim.net_index[dst])
@@ -183,14 +200,69 @@ class FaultInjector:
             if ff.name in relevant:
                 q_idx = self.sim.net_index[ff.output_net()]
                 self._relevant_pairs.append((q_idx, ff_index))
+        # Per-cycle golden state repacked to the relevant-pair bit order,
+        # filled on first use: the divergence check used to re-extract each
+        # relevant bit from the full packed state on every call.
+        self._relevant_golden: List[Optional[int]] = [None] * (golden.n_cycles + 1)
+        # Resolved SET propagation order (built on first run_set_batch).
+        self._set_plan: Optional[List[Tuple[Callable, int, Tuple[int, ...]]]] = None
 
     # ----------------------------------------------------------------- API
+
+    @property
+    def taps(self) -> List[_LoopTap]:
+        """Resolved loopback taps (read-only; the scheduler reuses them)."""
+        return self._taps
+
+    @property
+    def criterion_valid_pairs(self) -> List[Tuple[int, int]]:
+        """Bound criterion strobe pairs ``(value_idx, golden_bit)``."""
+        return self._criterion.valid_pairs
+
+    @property
+    def criterion_data_pairs(self) -> List[Tuple[int, int]]:
+        """Bound criterion payload pairs ``(value_idx, golden_bit)``."""
+        return self._criterion.data_pairs
+
+    def relevant_golden(self, cycle: int) -> int:
+        """Golden state at *cycle*, packed in relevant-pair order (cached)."""
+        packed = self._relevant_golden[cycle]
+        if packed is None:
+            state = self.golden.ff_state[cycle]
+            packed = 0
+            for k, (_q_idx, ff_index) in enumerate(self._relevant_pairs):
+                packed |= ((state >> ff_index) & 1) << k
+            self._relevant_golden[cycle] = packed
+        return packed
 
     def ff_index(self, ff_name: str) -> int:
         """Index of a flip-flop by instance name (lane/state ordering)."""
         return self.sim.ff_index[ff_name]
 
-    def _fused_kernel(self) -> FusedSweepKernel:
+    def run_scheduled(
+        self,
+        injections: Sequence[Tuple[int, int]],
+        horizon: Optional[int] = None,
+        max_lanes: Optional[int] = None,
+        cone_gating: str = "auto",
+        progress=None,
+    ):
+        """Run many ``(cycle, ff_index)`` injections through one adaptive
+        scheduler (lane refill across cycles, compaction, cone gating).
+
+        Returns a :class:`~repro.faultinjection.scheduler.ScheduledOutcome`
+        whose verdicts/latencies are bit-identical to one
+        :meth:`run_batch` lane per injection; see
+        :class:`~repro.faultinjection.scheduler.AdaptiveScheduler`.
+        """
+        from .scheduler import AdaptiveScheduler
+
+        scheduler = AdaptiveScheduler(
+            self, max_lanes=max_lanes, cone_gating=cone_gating
+        )
+        return scheduler.run(injections, horizon=horizon, progress=progress)
+
+    def fused_kernel(self) -> FusedSweepKernel:
         """Build (once) the generated sweep kernel for this workload."""
         if self._fused is None:
             self._fused = FusedSweepKernel(
@@ -210,6 +282,7 @@ class FaultInjector:
                 data_pairs=self._criterion.data_pairs,
                 relevant_pairs=self._relevant_pairs,
                 check_interval=self.check_interval,
+                tap_golden=[tap.golden_bits for tap in self._taps],
             )
         return self._fused
 
@@ -234,7 +307,7 @@ class FaultInjector:
             end = golden.n_cycles
             if horizon is not None:
                 end = min(end, cycle + horizon)
-            failed, latencies, cycles = self._fused_kernel().run_sweep(
+            failed, latencies, cycles = self.fused_kernel().run_sweep(
                 cycle, end, ff_indices
             )
             return BatchOutcome(
@@ -255,12 +328,12 @@ class FaultInjector:
             sim.flip_ff(ff_idx, 1 << lane)
 
         for tap in self._taps:
+            golden_bits = tap.golden_bits
             for past in range(cycle - tap.delay, cycle):
                 if past < 0:
                     tap.slots[past % tap.delay] = zero
                 else:
-                    bit = (golden.outputs[past] >> tap.source_out_bit) & 1
-                    tap.slots[past % tap.delay] = sim.broadcast(bit)
+                    tap.slots[past % tap.delay] = sim.broadcast(golden_bits[past])
 
         end = golden.n_cycles
         if horizon is not None:
@@ -289,7 +362,7 @@ class FaultInjector:
             sim.tick()
             c += 1
             if (c - cycle) % check == 0 or c == end:
-                diverged = self._divergence(golden.ff_state[c], mask)
+                diverged = self._divergence(c, mask)
                 diverged = diverged | self._loopback_divergence(c, mask)
                 if sim.vec_is_full(failed | ~diverged):
                     break
@@ -332,12 +405,12 @@ class FaultInjector:
 
         sim.load_ff_state_packed(golden.ff_state[cycle])
         for tap in self._taps:
+            golden_bits = tap.golden_bits
             for past in range(cycle - tap.delay, cycle):
                 if past < 0:
                     tap.slots[past % tap.delay] = zero
                 else:
-                    bit = (golden.outputs[past] >> tap.source_out_bit) & 1
-                    tap.slots[past % tap.delay] = sim.broadcast(bit)
+                    tap.slots[past % tap.delay] = sim.broadcast(golden_bits[past])
 
         # Injection cycle: settle fault-free, then force the struck nets and
         # re-evaluate the downstream cones with the forces held.
@@ -386,7 +459,7 @@ class FaultInjector:
             sim.tick()
             c += 1
             if (c - cycle) % check == 0 or c == end:
-                diverged = self._divergence(golden.ff_state[c], mask)
+                diverged = self._divergence(c, mask)
                 diverged = diverged | self._loopback_divergence(c, mask)
                 if sim.vec_is_full(failed | ~diverged):
                     break
@@ -406,17 +479,26 @@ class FaultInjector:
         """
         sim = self.sim
         values = sim.values
+        if self._set_plan is None:
+            # Resolve the topological walk's net indices once; rebuilding
+            # them per batch dominated short SET sweeps.
+            self._set_plan = [
+                (
+                    cell.ctype.evaluate,
+                    sim.net_index[cell.output_net()],
+                    tuple(sim.net_index[n] for n in cell.input_nets()),
+                )
+                for cell_name in self.netlist.topological_comb_order()
+                for cell in (self.netlist.cells[cell_name],)
+            ]
         dirty = set()
         for idx, lane_bits in forces.items():
             values[idx] = values[idx] ^ lane_bits
             dirty.add(idx)
-        for cell_name in self.netlist.topological_comb_order():
-            cell = self.netlist.cells[cell_name]
-            in_idxs = [sim.net_index[n] for n in cell.input_nets()]
+        for evaluate, out_idx, in_idxs in self._set_plan:
             if not any(i in dirty for i in in_idxs):
                 continue
-            out_idx = sim.net_index[cell.output_net()]
-            new_value = cell.ctype.evaluate([values[i] for i in in_idxs], mask)
+            new_value = evaluate([values[i] for i in in_idxs], mask)
             new_value = new_value ^ forces.get(out_idx, 0)
             if sim.vec_any(new_value ^ values[out_idx]):
                 values[out_idx] = new_value
@@ -424,16 +506,18 @@ class FaultInjector:
 
     # ------------------------------------------------------------ internals
 
-    def _divergence(self, golden_packed: int, mask: object) -> object:
-        """Per-lane mask of lanes whose relevant FF state differs from golden."""
+    def _divergence(self, cycle: int, mask: object) -> object:
+        """Per-lane mask of lanes whose relevant FF state differs from golden
+        at the start of *cycle*."""
         sim = self.sim
         diff = sim.broadcast(0)
         values = sim.values
+        grel = self.relevant_golden(cycle)
         # Early-exit once every lane diverged, but only probe periodically:
         # vec_is_full is a method call (and an array reduction on the numpy
         # backend), so checking per flip-flop would dominate the sweep.
-        for k, (q_idx, ff_index) in enumerate(self._relevant_pairs):
-            golden = mask if (golden_packed >> ff_index) & 1 else 0
+        for k, (q_idx, _ff_index) in enumerate(self._relevant_pairs):
+            golden = mask if (grel >> k) & 1 else 0
             diff = diff | (values[q_idx] ^ golden)
             if (k & 31) == 31 and sim.vec_is_full(diff):
                 return diff
@@ -445,9 +529,10 @@ class FaultInjector:
         diff = sim.broadcast(0)
         golden = self.golden
         for tap in self._taps:
+            golden_bits = tap.golden_bits
             for past in range(max(0, next_cycle - tap.delay), next_cycle):
                 if past >= golden.n_cycles:
                     continue
-                bit = (golden.outputs[past] >> tap.source_out_bit) & 1
+                bit = golden_bits[past]
                 diff = diff | (tap.slots[past % tap.delay] ^ (mask if bit else 0))
         return diff & mask

@@ -1,0 +1,849 @@
+"""Adaptive injection scheduling: lane compaction, refill, cone gating.
+
+:meth:`~repro.faultinjection.injector.FaultInjector.run_batch` pins a whole
+batch to one injection cycle and keeps every lane slot occupied until the
+*last* lane retires, so most of a campaign's simulated lane-cycles are spent
+on lanes that have already failed or re-converged — and the campaign tail
+runs nearly-empty batches.  :class:`AdaptiveScheduler` replaces the
+per-cycle batches with one long-lived forward simulation per *pass*:
+
+* **mixed-cycle batching** — lanes are activated at their own injection
+  cycles: when the simulation reaches a pending injection's cycle, a free
+  lane is loaded with the golden flip-flop state (per-lane, via the
+  lane-vector algebra's scatter path), the target flip-flop is flipped, and
+  the lane's loopback history is seeded from the golden record.  Requests
+  that find no free lane roll over to the next pass;
+* **lane compaction + refill** — retirement checks free lanes for the
+  pending queue; once the queue can no longer refill a drained pass, the
+  surviving lanes are *repacked* into a narrower batch
+  (:meth:`~repro.sim.backend.SimBackend.gather_lanes` /
+  :meth:`~repro.sim.backend.SimBackend.scatter_lanes`), which shrinks every
+  subsequent big-int/array operation;
+* **cone-gated evaluation** — the netlist is levelized into topologically
+  ordered partitions at build time (:mod:`repro.netlist.levelize`), each
+  compiled into its own callable.  A divergence frontier (which relevant
+  flip-flops and loopback taps currently deviate from golden, on any active
+  lane) is tracked at every retirement check, conservatively expanded by
+  the structural one-tick adjacency between checks, and turned into the set
+  of partitions that must actually be evaluated.  Flip-flops, criterion
+  nets and loopback taps whose fan-in cone carries no diverging lane
+  provably hold golden values, so their partitions are skipped and the
+  golden bits written directly.  When the frontier is wide the scheduler
+  falls back to the ordinary full evaluation, so gating can help but never
+  hurt.
+
+All of this is scheduling only: each lane still simulates the exact cycle
+sequence :meth:`run_batch` would have, so per-injection verdicts and error
+latencies are **bit-identical** to the naive batches — enforced per fuzz
+seed by the ``scheduled-vs-naive`` differential mode in
+:mod:`repro.verify.diff` and by the property tests in
+``tests/test_scheduler.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.levelize import LevelizedDesign, ff_spread_masks, levelize
+from ..sim.logic import lane_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .injector import FaultInjector
+
+__all__ = [
+    "InjectionRequest",
+    "ScheduledOutcome",
+    "SchedulerStats",
+    "AdaptiveScheduler",
+    "CONE_GATING_MODES",
+    "EXECUTION_SCHEDULERS",
+]
+
+#: The campaign-level execution strategies: ``"adaptive"`` (this module) or
+#: ``"batch"`` (one forward run per time slot).  Single source of truth for
+#: :class:`~repro.faultinjection.campaign.StatisticalFaultCampaign` and
+#: :class:`~repro.campaigns.spec.CampaignSpec` validation.
+EXECUTION_SCHEDULERS = ("adaptive", "batch")
+
+#: Valid ``cone_gating`` modes: ``auto`` gates only when few lanes are
+#: active (wide batches almost always have a wide frontier), ``on`` always
+#: attempts gating, ``off`` always runs the full evaluation.
+CONE_GATING_MODES = ("auto", "on", "off")
+
+#: ``auto`` mode attempts cone gating only at or below this many active
+#: lanes; above it the union of per-lane divergence cones almost always
+#: covers the whole netlist and the tracking would be pure overhead.
+AUTO_GATE_MAX_LANES = 48
+
+#: Fall back to full evaluation when the needed partitions exceed this
+#: fraction of all partitions (gating would save less than the dispatch
+#: and golden-write bookkeeping costs).
+FALLBACK_NEED_FRACTION = 0.625
+
+#: Give up frontier expansion (and gate nothing) once the expanded frontier
+#: covers more than this fraction of the tracked flip-flops.
+FALLBACK_FRONTIER_FRACTION = 0.5
+
+#: Repack the batch when no refill is possible and fewer than half the
+#: lanes survive, provided at least this many lanes would be freed (the
+#: gather/scatter pass is O(flip-flops × survivors)).
+MIN_REPACK_GAIN = 16
+
+#: Default lane-slot capacity per backend when ``max_lanes`` is ``None``.
+#: Wider batches amortize the per-statement interpreter cost over more
+#: lanes — but only pay off when the batch stays *full*, which is exactly
+#: what refill provides (a naive batch this wide would drain to a few
+#: stragglers and waste almost the whole width).  Pass width is always
+#: additionally capped by the pending-request count.
+AUTO_MAX_LANES = {"compiled": 4096, "fused": 4096, "numpy": 16384}
+
+
+@dataclass(frozen=True)
+class InjectionRequest:
+    """One pending SEU: flip ``ff_index`` at ``cycle``; ``key`` indexes the
+    caller's request list and names the verdict slot."""
+
+    cycle: int
+    ff_index: int
+    key: int
+
+
+@dataclass
+class SchedulerStats:
+    """What one :meth:`AdaptiveScheduler.run` actually simulated."""
+
+    n_injections: int = 0
+    n_passes: int = 0
+    cycles_simulated: int = 0
+    lane_cycles: int = 0
+    activations: int = 0
+    deferred: int = 0
+    repacks: int = 0
+    gated_cycles: int = 0
+    partitions_evaluated: int = 0
+    partitions_skipped: int = 0
+
+
+@dataclass
+class ScheduledOutcome:
+    """Per-request verdicts of one scheduled run.
+
+    ``verdicts[key]`` is ``(failed, latency)`` for the request with that
+    key; *latency* is ``None`` unless the lane failed.  Bit-identical to
+    running each request through :meth:`FaultInjector.run_batch`.
+    """
+
+    verdicts: List[Tuple[bool, Optional[int]]]
+    stats: SchedulerStats = field(default_factory=SchedulerStats)
+
+    def failed_count(self) -> int:
+        return sum(1 for failed, _lat in self.verdicts if failed)
+
+
+class _GatingPlan:
+    """Build-time artifacts of cone-gated evaluation for one injector.
+
+    Everything here is derived once per (netlist, backend, criterion,
+    testbench) binding: the levelized partitions compiled into callables,
+    the per-consumer source masks/closures, the gated tick, and the
+    frontier spread masks.
+    """
+
+    def __init__(self, injector: "FaultInjector") -> None:
+        sim = injector.sim
+        netlist = injector.netlist
+        design: LevelizedDesign = levelize(netlist)
+        self.design = design
+        self.n_partitions = design.n_partitions
+        self.partition_fns = sim.compile_partition_evals(
+            [p.cells for p in design.partitions]
+        )
+        self.gated_tick = sim.compile_gated_tick()
+        self.spread = ff_spread_masks(netlist, design)
+        self.n_ffs = len(sim.flip_flops)
+        self.full_parts_mask = (1 << self.n_partitions) - 1
+
+        # Per flip-flop: transitive source masks and partition closure of the
+        # D/RN cone — dirty cone => latch normally (and evaluate the cone),
+        # clean cone => overwrite Q with the golden bit.
+        self.ff_cone_ffm: List[int] = []
+        self.ff_cone_im: List[int] = []
+        self.ff_closure: List[int] = []
+        for ff in sim.flip_flops:
+            fm = im = closure = 0
+            for pin in ("D", "RN"):
+                net = ff.connections.get(pin)
+                if net is not None and pin != "CK":
+                    nfm, nim = design.source_masks(net)
+                    fm |= nfm
+                    im |= nim
+                    closure |= design.closure_of_net(net)
+            self.ff_cone_ffm.append(fm)
+            self.ff_cone_im.append(im)
+            self.ff_closure.append(closure)
+
+        # Criterion pairs with their driving cones.
+        net_names = list(netlist.nets)
+        self.valid_pairs = [
+            (idx, bit, *self._net_meta(design, net_names[idx]))
+            for idx, bit in injector.criterion_valid_pairs
+        ]
+        self.data_pairs = [
+            (idx, bit, *self._net_meta(design, net_names[idx]))
+            for idx, bit in injector.criterion_data_pairs
+        ]
+
+        # Loopback taps: source cone masks/closures and target input bits.
+        input_index = {name: i for i, name in enumerate(netlist.inputs)}
+        self.taps = []
+        for tap in injector.taps:
+            src_net = net_names[tap.source_value_idx]
+            tgt_net = net_names[tap.target_value_idx]
+            fm, im = design.source_masks(src_net)
+            self.taps.append(
+                (fm, im, design.closure_of_net(src_net), 1 << input_index[tgt_net])
+            )
+        # Per tap: flip-flops whose D/RN cone reads the tap's target input —
+        # the edge divergence takes when it crosses a loopback (FF → source
+        # output → delayed slot → target input → FF).  The frontier
+        # expansion must follow these edges too, or divergence that crosses
+        # a tap mid-window would be golden-overwritten by the gated tick.
+        self.tap_sink_ffs: List[int] = []
+        for _fm, _im, _closure, tgt_bit in self.taps:
+            sinks = 0
+            for i in range(self.n_ffs):
+                if self.ff_cone_im[i] & tgt_bit:
+                    sinks |= 1 << i
+            self.tap_sink_ffs.append(sinks)
+
+    @staticmethod
+    def _net_meta(design: LevelizedDesign, net: str) -> Tuple[int, int, int]:
+        fm, im = design.source_masks(net)
+        return fm, im, design.closure_of_net(net)
+
+    # ------------------------------------------------------------ expansion
+
+    def expand_frontier(
+        self, frontier: int, tap_dirty: List[bool], steps: int, cap: int
+    ) -> Optional[Tuple[int, List[bool], int]]:
+        """Close the frontier under *steps* ticks of structural adjacency.
+
+        The adjacency covers both the combinational FF→FF edges
+        (:func:`~repro.netlist.levelize.ff_spread_masks`) and the loopback
+        edges: a tap becomes dirty when its source cone touches the
+        frontier (or another dirty tap's target input), and a dirty tap
+        seeds the flip-flops reading its target input.  *tap_dirty* is the
+        exact in-flight slot divergence at the anchoring probe; it is not
+        mutated.  Returns ``(ff_mask, tap_dirty, dirty_input_bits)``, or
+        ``None`` once the expansion exceeds *cap* set bits — the caller
+        treats that as "frontier too wide, evaluate everything".
+        """
+        spread = self.spread
+        current = frontier
+        taps = list(tap_dirty)
+        dirty_inputs = 0
+        for t, (_fm, _im, _closure, tgt_bit) in enumerate(self.taps):
+            if taps[t]:
+                dirty_inputs |= tgt_bit
+                current |= self.tap_sink_ffs[t]
+        for _ in range(steps):
+            added = 0
+            bits = current
+            while bits:
+                low = bits & -bits
+                added |= spread[low.bit_length() - 1]
+                bits ^= low
+            taps_changed = False
+            for t, (fm, im, _closure, tgt_bit) in enumerate(self.taps):
+                if not taps[t] and ((fm & current) or (im & dirty_inputs)):
+                    taps[t] = True
+                    dirty_inputs |= tgt_bit
+                    added |= self.tap_sink_ffs[t]
+                    taps_changed = True
+            if added & ~current == 0 and not taps_changed:
+                break
+            current |= added
+            if current.bit_count() > cap:
+                return None
+        return current, taps, dirty_inputs
+
+
+class _Window:
+    """Gating decisions valid for one check window (or "evaluate all")."""
+
+    __slots__ = (
+        "full",
+        "eval_fns",
+        "n_evaluated",
+        "gw_mask",
+        "live_valid",
+        "clean_valid",
+        "live_data",
+        "tap_golden",
+    )
+
+    def __init__(self, full: bool) -> None:
+        self.full = full
+        self.eval_fns: List = []
+        self.n_evaluated = 0
+        self.gw_mask = 0
+        self.live_valid: List[Tuple[int, int]] = []
+        self.clean_valid: List[Tuple[int, int]] = []
+        self.live_data: List[Tuple[int, int]] = []
+        #: Per tap: ``True`` when the tap's source cone is clean and the
+        #: slot write can broadcast the golden bit instead of reading the net.
+        self.tap_golden: List[bool] = []
+
+
+_FULL_WINDOW = _Window(full=True)
+
+
+class AdaptiveScheduler:
+    """Long-lived injection scheduler bound to one :class:`FaultInjector`.
+
+    Parameters
+    ----------
+    injector:
+        The bound forward simulator.  All backends are supported; the
+        ``fused`` backend delegates to the generated scheduled-sweep kernel
+        (:meth:`repro.sim.fused.FusedSweepKernel.run_scheduled`), which
+        implements refill/retirement but not cone gating.
+    max_lanes:
+        Lane-slot capacity of one pass; ``None`` (default) picks the
+        backend's tuned width from :data:`AUTO_MAX_LANES`.
+    cone_gating:
+        ``"auto"`` (default), ``"on"`` or ``"off"`` — see
+        :data:`CONE_GATING_MODES`.  Ignored by the fused backend.
+    repack:
+        Allow shrinking a drained pass via gather/scatter lane compaction.
+    """
+
+    def __init__(
+        self,
+        injector: "FaultInjector",
+        max_lanes: Optional[int] = None,
+        cone_gating: str = "auto",
+        repack: bool = True,
+    ) -> None:
+        if max_lanes is None:
+            max_lanes = AUTO_MAX_LANES.get(injector.backend, 4096)
+        if max_lanes < 1:
+            raise ValueError("max_lanes must be >= 1")
+        if cone_gating not in CONE_GATING_MODES:
+            raise ValueError(
+                f"unknown cone_gating mode {cone_gating!r}; "
+                f"choose from {CONE_GATING_MODES}"
+            )
+        self.injector = injector
+        self.max_lanes = max_lanes
+        self.cone_gating = cone_gating
+        self.repack = repack
+        self.stats = SchedulerStats()
+        self._plan: Optional[_GatingPlan] = None
+        self._load_fn = None
+
+    # ------------------------------------------------------------------ API
+
+    def run(
+        self,
+        injections: Sequence[Tuple[int, int]],
+        horizon: Optional[int] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> ScheduledOutcome:
+        """Simulate every ``(cycle, ff_index)`` injection; return verdicts.
+
+        Verdict *k* corresponds to ``injections[k]``.  Lanes are packed and
+        refilled across injection cycles; results are bit-identical to one
+        :meth:`FaultInjector.run_batch` lane per injection.  *progress* is
+        called as ``progress(completed_injections, total)`` after every
+        scheduler pass.
+        """
+        golden = self.injector.golden
+        n_cycles = golden.n_cycles
+        requests: List[InjectionRequest] = []
+        for key, (cycle, ff_index) in enumerate(injections):
+            if not 0 <= cycle < n_cycles:
+                raise ValueError(
+                    f"injection cycle {cycle} outside trace [0, {n_cycles})"
+                )
+            requests.append(InjectionRequest(cycle=cycle, ff_index=ff_index, key=key))
+        requests.sort(key=lambda r: (r.cycle, r.key))
+
+        self.stats = SchedulerStats(n_injections=len(requests))
+        verdicts: List[Tuple[bool, Optional[int]]] = [(False, None)] * len(requests)
+        if not requests:
+            return ScheduledOutcome(verdicts=verdicts, stats=self.stats)
+
+        total = len(requests)
+        if self.injector.backend == "fused":
+            self._run_fused(requests, verdicts, horizon, progress)
+        else:
+            pending = requests
+            while pending:
+                pending = self._run_pass(pending, verdicts, horizon)
+                self.stats.n_passes += 1
+                if progress is not None:
+                    progress(total - len(pending), total)
+        return ScheduledOutcome(verdicts=verdicts, stats=self.stats)
+
+    # ---------------------------------------------------------- fused path
+
+    def _run_fused(
+        self,
+        requests: List[InjectionRequest],
+        verdicts: List[Tuple[bool, Optional[int]]],
+        horizon: Optional[int],
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        kernel = self.injector.fused_kernel()
+        kernel.run_scheduled(
+            [(r.cycle, r.ff_index, r.key) for r in requests],
+            verdicts,
+            max_lanes=self.max_lanes,
+            horizon=horizon,
+            stats=self.stats,
+            progress=progress,
+        )
+
+    # ---------------------------------------------------------- cycle path
+
+    def _gating_plan(self) -> _GatingPlan:
+        # Cached on the injector: plans are a function of the (netlist,
+        # backend, criterion, testbench) binding, so repeated schedulers on
+        # one injector (campaign top-ups, API users) must not re-levelize
+        # and re-exec ~50 partition callables per run.
+        if self._plan is None:
+            plan = getattr(self.injector, "_cached_gating_plan", None)
+            if plan is None:
+                plan = _GatingPlan(self.injector)
+                self.injector._cached_gating_plan = plan
+            self._plan = plan
+        return self._plan
+
+    def _activation_loader(self):
+        """Generated per-lane golden-state loader (one line per flip-flop).
+
+        ``_load(v, z, am, nam, gs)`` sets, on the lanes selected by the
+        native vectors ``am``/``nam = am ^ mask``, every flip-flop Q to its
+        golden bit from the packed state ``gs`` — the scatter half of
+        mixed-cycle activation, without a per-flip-flop Python loop.
+        """
+        if self._load_fn is None:
+            load_fn = getattr(self.injector, "_cached_activation_loader", None)
+            if load_fn is None:
+                sim = self.injector.sim
+                lines = ["def _load(v, z, am, nam, gs):"]
+                for i, q in enumerate(sim._ff_q):
+                    lines.append(
+                        f"    v[{q}] = (v[{q}] & nam) | (am if (gs >> {i}) & 1 else z)"
+                    )
+                if not sim._ff_q:
+                    lines.append("    pass")
+                namespace: Dict[str, object] = {}
+                exec("\n".join(lines), namespace)  # noqa: S102
+                load_fn = namespace["_load"]
+                self.injector._cached_activation_loader = load_fn
+            self._load_fn = load_fn
+        return self._load_fn
+
+    def _native(self, packed: int):
+        """Packed Python-int lane mask -> backend-native lane vector."""
+        sim = self.injector.sim
+        if isinstance(sim.values, list):  # compiled: ints are native
+            return packed & sim.mask
+        from ..sim.vectorized import int_to_words
+
+        return int_to_words(packed & lane_mask(sim.n_lanes), sim.n_words)
+
+    def _run_pass(
+        self,
+        pending: List[InjectionRequest],
+        verdicts: List[Tuple[bool, Optional[int]]],
+        horizon: Optional[int],
+    ) -> List[InjectionRequest]:
+        injector = self.injector
+        sim = injector.sim
+        golden = injector.golden
+        criterion = injector._criterion
+        taps = injector.taps
+        check = injector.check_interval
+        end_of_trace = golden.n_cycles
+        stats = self.stats
+
+        width = min(self.max_lanes, len(pending))
+        sim.resize_lanes(width)
+        mask = sim.mask
+        zero = sim.broadcast(0)
+        values = sim.values
+        all_lanes = lane_mask(width)
+
+        gate_on = self.cone_gating == "on"
+        gate_auto = self.cone_gating == "auto"
+        # "auto" re-decides per window from the *live* lane count, so a wide
+        # pass whose tail shrinks below the threshold (retirement, repack)
+        # starts gating; the plan is built lazily on first use.
+        plan: Optional[_GatingPlan] = self._gating_plan() if gate_on else None
+        load_fn = self._activation_loader()
+
+        slots: List[List[object]] = [[zero] * tap.delay for tap in taps]
+        lane_req: List[Optional[InjectionRequest]] = [None] * width
+        lane_lat: List[int] = [0] * width
+        free: List[int] = list(range(width - 1, -1, -1))  # pop() -> lowest lane
+        deadlines: Dict[int, List[int]] = {}
+
+        active_int = 0
+        active_vec = zero
+        failed_int = 0
+        failed = zero
+        frontier = 0
+        window = _FULL_WINDOW
+        deferred: List[InjectionRequest] = []
+        ptr = 0
+        n_pending = len(pending)
+
+        def retire_lanes(retire_bits: int) -> None:
+            nonlocal active_int, active_vec, failed_int, failed
+            bits = retire_bits
+            while bits:
+                low = bits & -bits
+                lane = low.bit_length() - 1
+                bits ^= low
+                request = lane_req[lane]
+                lane_req[lane] = None
+                lane_failed = bool((failed_int >> lane) & 1)
+                verdicts[request.key] = (
+                    lane_failed,
+                    lane_lat[lane] if lane_failed else None,
+                )
+                free.append(lane)
+            active_int &= ~retire_bits
+            failed_int &= ~retire_bits
+            active_vec = self._native(active_int)
+            failed = self._native(failed_int)
+
+        c = pending[0].cycle
+        next_check = c + check
+        while True:
+            # -- per-lane horizon deadlines: stop observing before cycle c.
+            if horizon is not None and c in deadlines:
+                expired = 0
+                for lane, request in deadlines.pop(c):
+                    # A stale entry may point at a lane that retired early
+                    # and was refilled — only the original request expires.
+                    if lane_req[lane] is request:
+                        expired |= 1 << lane
+                if expired:
+                    retire_lanes(expired)
+
+            # -- activate pending injections scheduled for this cycle.
+            activated = 0
+            act_requests: List[Tuple[InjectionRequest, int]] = []
+            while ptr < n_pending and pending[ptr].cycle == c:
+                if not free:
+                    break
+                request = pending[ptr]
+                ptr += 1
+                lane = free.pop()
+                lane_req[lane] = request
+                activated |= 1 << lane
+                act_requests.append((request, lane))
+                if horizon is not None:
+                    deadline = request.cycle + horizon
+                    if deadline < end_of_trace:
+                        deadlines.setdefault(deadline, []).append((lane, request))
+            while ptr < n_pending and pending[ptr].cycle <= c:
+                deferred.append(pending[ptr])  # no free lane: next pass
+                stats.deferred += 1
+                ptr += 1
+            if activated:
+                am = self._native(activated)
+                nam = am ^ mask
+                load_fn(values, zero, am, nam, golden.ff_state[c])
+                for request, lane in act_requests:
+                    sim.flip_ff(request.ff_index, 1 << lane)
+                    frontier |= 1 << request.ff_index
+                for t, tap in enumerate(taps):
+                    tap_golden = tap.golden_bits
+                    for past in range(c - tap.delay, c):
+                        bit = tap_golden[past] if past >= 0 else 0
+                        slot = slots[t][past % tap.delay]
+                        slots[t][past % tap.delay] = (slot & nam) | (am if bit else zero)
+                active_int |= activated
+                active_vec = self._native(active_int)
+                stats.activations += len(act_requests)
+                if gate_on or (gate_auto and active_int.bit_count() <= AUTO_GATE_MAX_LANES):
+                    if plan is None:
+                        plan = self._gating_plan()
+                    window = self._make_window(plan, frontier, c, slots, check)
+                else:
+                    window = _FULL_WINDOW
+
+            if active_int == 0:
+                if ptr >= n_pending:
+                    break
+                c = pending[ptr].cycle  # fast-forward over empty cycles
+                next_check = c + check
+                frontier = 0  # no active lanes: provably no divergence
+                continue
+
+            # -- simulate cycle c.
+            applied = golden.applied_inputs[c]
+            for bit_pos, value_idx in injector._open_inputs:
+                values[value_idx] = mask if (applied >> bit_pos) & 1 else zero
+            for t, tap in enumerate(taps):
+                values[tap.target_value_idx] = slots[t][c % tap.delay]
+
+            if window.full:
+                sim.eval_comb()
+                fail_c = criterion.evaluate(values, golden.outputs[c], mask)
+            else:
+                stats.gated_cycles += 1
+                for clk in sim._clock_nets:
+                    values[clk] = zero
+                for fn in window.eval_fns:
+                    fn(values, mask, sim._fallback_cells)
+                stats.partitions_evaluated += window.n_evaluated
+                stats.partitions_skipped += plan.n_partitions - window.n_evaluated
+                fail_c = self._gated_criterion(window, values, golden.outputs[c], mask, zero)
+
+            newly = fail_c & active_vec & ~failed
+            if sim.vec_any(newly):
+                failed = failed | newly
+                newly_int = sim.vec_to_int(newly)
+                failed_int |= newly_int
+                while newly_int:
+                    low = newly_int & -newly_int
+                    lane = low.bit_length() - 1
+                    lane_lat[lane] = c - lane_req[lane].cycle
+                    newly_int ^= low
+
+            for t, tap in enumerate(taps):
+                if not window.full and window.tap_golden[t]:
+                    slots[t][c % tap.delay] = mask if tap.golden_bits[c] else zero
+                else:
+                    slots[t][c % tap.delay] = sim.read_vec(tap.source_value_idx)
+
+            if window.full:
+                sim.tick()
+            else:
+                plan.gated_tick(values, mask, window.gw_mask, golden.ff_state[c + 1])
+
+            c += 1
+            stats.cycles_simulated += 1
+            stats.lane_cycles += active_int.bit_count()
+
+            # -- retirement check / frontier refresh / repack.
+            if c == next_check or c >= end_of_trace:
+                next_check = c + check
+                if c >= end_of_trace:
+                    retire_lanes(active_int)
+                    break
+                diff, frontier = self._probe_divergence(c, active_vec, slots)
+                retire_bits = active_int & (failed_int | (all_lanes ^ sim.vec_to_int(diff)))
+                if retire_bits:
+                    retire_lanes(retire_bits)
+                    if active_int == 0:
+                        if ptr >= n_pending:
+                            break
+                        c = pending[ptr].cycle
+                        next_check = c + check
+                        frontier = 0
+                        window = _FULL_WINDOW
+                        continue
+                if (
+                    self.repack
+                    and ptr >= n_pending
+                    and active_int.bit_count() <= width // 2
+                    and width - active_int.bit_count() >= MIN_REPACK_GAIN
+                ):
+                    width, mask, zero, values, all_lanes, failed_int = self._repack(
+                        lane_req, lane_lat, slots, free, deadlines, failed
+                    )
+                    active_int = all_lanes  # every surviving lane is live
+                    active_vec = self._native(active_int)
+                    failed = self._native(failed_int)
+                    stats.repacks += 1
+                if gate_on or (gate_auto and active_int.bit_count() <= AUTO_GATE_MAX_LANES):
+                    if plan is None:
+                        plan = self._gating_plan()
+                    window = self._make_window(plan, frontier, c, slots, check)
+                else:
+                    window = _FULL_WINDOW
+
+        return deferred + pending[ptr:]
+
+    # ------------------------------------------------------------- internals
+
+    def _probe_divergence(self, cycle: int, active_vec, slots) -> Tuple[object, int]:
+        """Relevant-FF + loopback divergence and the exact FF frontier.
+
+        Returns ``(diff, frontier)``: *diff* is the active-lane vector of
+        lanes deviating anywhere that matters (the retirement test), and
+        *frontier* the bitmask of relevant flip-flops deviating on any
+        active lane (the cone-gating frontier seed).
+        """
+        injector = self.injector
+        sim = injector.sim
+        grel = injector.relevant_golden(cycle)
+        pairs = injector._relevant_pairs
+        row_golden = [
+            (q_idx, (grel >> k) & 1) for k, (q_idx, _ff) in enumerate(pairs)
+        ]
+        diff, rows = sim.diverging_rows(row_golden, active_vec)
+        frontier = 0
+        while rows:
+            low = rows & -rows
+            frontier |= 1 << pairs[low.bit_length() - 1][1]
+            rows ^= low
+        mask = sim.mask
+        zero = sim.broadcast(0)
+        for t, tap in enumerate(injector.taps):
+            tap_golden = tap.golden_bits
+            for past in range(max(0, cycle - tap.delay), cycle):
+                if past >= injector.golden.n_cycles:
+                    continue
+                golden_vec = mask if tap_golden[past] else zero
+                diff = diff | ((slots[t][past % tap.delay] ^ golden_vec) & active_vec)
+        return diff, frontier
+
+    def _make_window(
+        self, plan: _GatingPlan, frontier: int, cycle: int, slots, check: int
+    ) -> _Window:
+        """Turn the exact frontier into gating decisions for one window."""
+        injector = self.injector
+
+        # Exact in-flight loopback divergence at the anchoring probe: a tap
+        # can carry deviation in its delay slots even when no flip-flop
+        # deviates right now.
+        sim = injector.sim
+        mask = sim.mask
+        zero = sim.broadcast(0)
+        tap_exact = [False] * len(injector.taps)
+        for t, tap in enumerate(injector.taps):
+            tap_golden = tap.golden_bits
+            for past in range(max(0, cycle - tap.delay), cycle):
+                golden_vec = mask if tap_golden[past] else zero
+                if sim.vec_any(slots[t][past % tap.delay] ^ golden_vec):
+                    tap_exact[t] = True
+                    break
+
+        closed = plan.expand_frontier(
+            frontier,
+            tap_exact,
+            check,
+            max(1, int(plan.n_ffs * FALLBACK_FRONTIER_FRACTION)),
+        )
+        if closed is None:
+            return _FULL_WINDOW
+        expanded, tap_dirty, dirty_inputs = closed
+
+        need = 0
+        gw = 0
+        for i in range(plan.n_ffs):
+            if (plan.ff_cone_ffm[i] & expanded) or (plan.ff_cone_im[i] & dirty_inputs):
+                need |= plan.ff_closure[i]
+            else:
+                gw |= 1 << i
+
+        window = _Window(full=False)
+        for idx, bit, fm, im, closure in plan.valid_pairs:
+            if (fm & expanded) or (im & dirty_inputs):
+                window.live_valid.append((idx, bit))
+                need |= closure
+            else:
+                window.clean_valid.append((idx, bit))
+        for idx, bit, fm, im, closure in plan.data_pairs:
+            if (fm & expanded) or (im & dirty_inputs):
+                window.live_data.append((idx, bit))
+                need |= closure
+        for t, (fm, im, closure, _tgt_bit) in enumerate(plan.taps):
+            if tap_dirty[t]:
+                need |= closure
+        window.tap_golden = [not dirty for dirty in tap_dirty]
+
+        n_need = need.bit_count()
+        if n_need > plan.n_partitions * FALLBACK_NEED_FRACTION:
+            return _FULL_WINDOW
+        window.gw_mask = gw
+        window.n_evaluated = n_need
+        fns = plan.partition_fns
+        bits = need
+        while bits:
+            low = bits & -bits
+            window.eval_fns.append(fns[low.bit_length() - 1])
+            bits ^= low
+        return window
+
+    def _gated_criterion(self, window: _Window, values, golden_outputs: int, mask, zero):
+        """Per-lane failure mask with clean criterion cones short-circuited.
+
+        Clean nets provably equal their golden bits on every active lane, so
+        their strobe contribution to ``beat`` is the broadcast golden bit and
+        their payload contribution to ``fail`` is zero.  Inactive lanes may
+        disagree, but every consumer masks with the active-lane vector.
+        """
+        fail = zero
+        beat = zero
+        have_data = bool(window.live_data)
+        for idx, bit in window.live_valid:
+            golden_vec = mask if (golden_outputs >> bit) & 1 else zero
+            faulty = values[idx]
+            fail = fail | (faulty ^ golden_vec)
+            if have_data:
+                beat = beat | golden_vec | faulty
+        if have_data:
+            for _idx, bit in window.clean_valid:
+                if (golden_outputs >> bit) & 1:
+                    beat = beat | mask
+                    break  # beat saturated on every lane
+        for idx, bit in window.live_data:
+            golden_vec = mask if (golden_outputs >> bit) & 1 else zero
+            fail = fail | ((values[idx] ^ golden_vec) & beat)
+        return fail & mask
+
+    def _repack(self, lane_req, lane_lat, slots, free, deadlines, failed):
+        """Compact surviving lanes into a narrower batch (gather/scatter).
+
+        Only flip-flop state, loopback slots and the failure mask need
+        moving: the next loop iteration re-drives inputs and re-settles the
+        combinational logic from the repacked state.
+        """
+        injector = self.injector
+        sim = injector.sim
+        keep = [lane for lane, req in enumerate(lane_req) if req is not None]
+        ff_states = [sim.gather_lanes(sim.values[q], keep) for q in sim._ff_q]
+        slot_states = [[sim.gather_lanes(vec, keep) for vec in pipeline] for pipeline in slots]
+        failed_int = sim.gather_lanes(failed, keep)
+
+        new_width = max(1, len(keep))
+        sim.resize_lanes(new_width)
+        mask = sim.mask
+        zero = sim.broadcast(0)
+        values = sim.values  # numpy reallocates on resize
+        # FF rows use the bulk int->native conversion (O(width/64) words);
+        # the handful of tap slots go through the generic per-lane scatter.
+        for q, packed in zip(sim._ff_q, ff_states):
+            values[q] = self._native(packed)
+        for t, pipeline in enumerate(slot_states):
+            for k, packed in enumerate(pipeline):
+                slots[t][k] = sim.scatter_lanes(zero, range(new_width), packed)
+
+        remap = {old: new for new, old in enumerate(keep)}
+        new_req: List[Optional[InjectionRequest]] = [None] * new_width
+        new_lat = [0] * new_width
+        for old, new in remap.items():
+            new_req[new] = lane_req[old]
+            new_lat[new] = lane_lat[old]
+        lane_req[:] = new_req
+        lane_lat[:] = new_lat
+        free[:] = []
+        for cycle_key in list(deadlines):
+            deadlines[cycle_key] = [
+                (remap[lane], req)
+                for lane, req in deadlines[cycle_key]
+                if lane in remap
+            ]
+            if not deadlines[cycle_key]:
+                del deadlines[cycle_key]
+        return new_width, mask, zero, values, lane_mask(new_width), failed_int

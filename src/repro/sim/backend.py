@@ -33,12 +33,27 @@ compiled backend, a ``uint64`` ndarray for the NumPy backend).  The protocol
 methods :meth:`SimBackend.broadcast`, :meth:`SimBackend.lane_vec`,
 :meth:`SimBackend.read_vec`, :meth:`SimBackend.vec_to_int`,
 :meth:`SimBackend.vec_any` and :meth:`SimBackend.vec_is_full` are the only
-places a consumer needs to care which representation it is holding.
+places a consumer needs to care which representation it is holding.  The
+adaptive injection scheduler adds three more ops to the algebra:
+:meth:`SimBackend.gather_lanes` / :meth:`SimBackend.scatter_lanes` move
+individual lanes between vectors (lane compaction and mixed-cycle refill),
+and :meth:`SimBackend.diverging_rows` probes many net rows against golden
+bits at once (the divergence frontier behind cone-gated evaluation).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Protocol, Tuple, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..netlist.core import Cell, Netlist
@@ -127,6 +142,37 @@ class SimBackend(Protocol):
 
     def vec_is_full(self, vec: object) -> bool:
         """True if every active lane of *vec* is set."""
+        ...
+
+    def gather_lanes(self, vec: object, lanes: "Sequence[int]") -> int:
+        """Pack lanes ``lanes[j]`` of *vec* into bit *j* of a Python int.
+
+        The lane-compaction primitive: the adaptive injection scheduler
+        gathers the per-lane state of surviving lanes before repacking a
+        drained batch into a narrower one (see
+        :mod:`repro.faultinjection.scheduler`).
+        """
+        ...
+
+    def scatter_lanes(self, vec: object, lanes: "Sequence[int]", bits: int) -> object:
+        """Copy of *vec* with lane ``lanes[j]`` set to bit *j* of *bits*.
+
+        Inverse of :meth:`gather_lanes`; writes repacked or freshly
+        activated per-lane state into a lane vector without touching the
+        other lanes.
+        """
+        ...
+
+    def diverging_rows(
+        self, row_golden: "Sequence[Tuple[int, int]]", active: object
+    ) -> "Tuple[object, int]":
+        """Active-lane divergence of value rows vs. broadcast golden bits.
+
+        For ``(value_idx, golden_bit)`` pairs returns ``(diff, rows)``:
+        *diff* is the lane vector of active lanes where any row deviates and
+        bit *k* of *rows* marks row *k* as deviating — the per-flip-flop
+        frontier probe behind cone-gated evaluation.
+        """
         ...
 
 

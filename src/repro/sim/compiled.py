@@ -66,6 +66,7 @@ def build_eval_source(
     net_index: Mapping[str, int],
     fallback_cells: List[Tuple[Callable, int, Tuple[int, ...]]],
     templates: Optional[Dict[str, str]] = None,
+    cells: Optional[Sequence[str]] = None,
 ) -> str:
     """Generate the combinational-settle function source for *netlist*.
 
@@ -79,11 +80,14 @@ def build_eval_source(
     ``(function, out_index, in_indices)`` and dispatched through ``fb``.
 
     *templates* overrides the default expression table (the numpy backend
-    substitutes cheaper ``^ m`` forms for the inverting gates).
+    substitutes cheaper ``^ m`` forms for the inverting gates).  *cells*
+    restricts generation to a subset of combinational cells (must already be
+    in a valid evaluation order) — this is how one callable per levelized
+    partition is built for cone-gated evaluation.
     """
     table = _TEMPLATES if templates is None else templates
     lines = ["def _eval(v, m, fb):"]
-    order = netlist.topological_comb_order()
+    order = netlist.topological_comb_order() if cells is None else list(cells)
     for cell_name in order:
         cell = netlist.cells[cell_name]
         out = net_index[cell.output_net()]
@@ -185,6 +189,56 @@ class CompiledSimulator(PackedLaneMixin):
         namespace: Dict[str, object] = {}
         exec("\n".join(lines), namespace)  # noqa: S102
         return namespace["_tick"]  # type: ignore[return-value]
+
+    # ------------------------------------------------- partitioned evaluation
+
+    def compile_partition_evals(
+        self, partitions: Sequence[Sequence[str]]
+    ) -> List[Callable[[List[int], int, list], None]]:
+        """Compile one ``_eval``-style callable per cell partition.
+
+        Each entry of *partitions* must be a valid intra-partition evaluation
+        order (see :func:`repro.netlist.levelize.levelize`); calling every
+        callable in partition order is equivalent to one :meth:`eval_comb`
+        pass minus the clock forcing.  All callables share this simulator's
+        fallback-cell table.
+        """
+        fns: List[Callable[[List[int], int, list], None]] = []
+        for cells in partitions:
+            source = build_eval_source(
+                self.netlist, self.net_index, self._fallback_cells, cells=cells
+            )
+            namespace: Dict[str, object] = {}
+            exec(source, namespace)  # noqa: S102 - generated from our own netlist
+            fns.append(namespace["_eval"])  # type: ignore[arg-type]
+        return fns
+
+    def compile_gated_tick(self) -> Callable[[List[int], int, int, int], None]:
+        """Compile a clock edge gated per flip-flop by a golden-write mask.
+
+        Returns ``_tick_gated(v, m, gw, gs)``: flip-flop *i* latches normally
+        when bit *i* of ``gw`` is clear, and is instead overwritten with the
+        broadcast golden bit *i* of ``gs`` (the packed golden state *after*
+        the edge) when set.  The scheduler uses this to avoid evaluating the
+        D-cone of flip-flops that provably hold golden values.
+        """
+        lines = ["def _tick_gated(v, m, gw, gs):"]
+        assigns = []
+        for i, (q, d, rn) in enumerate(zip(self._ff_q, self._ff_d, self._ff_rn)):
+            lines.append(f"    if (gw >> {i}) & 1:")
+            lines.append(f"        t{i} = m if (gs >> {i}) & 1 else 0")
+            lines.append("    else:")
+            if rn is None:
+                lines.append(f"        t{i} = v[{d}]")
+            else:
+                lines.append(f"        t{i} = v[{d}] & v[{rn}]")
+            assigns.append(f"    v[{q}] = t{i}")
+        lines.extend(assigns)
+        if not self._ff_q:
+            lines.append("    pass")
+        namespace: Dict[str, object] = {}
+        exec("\n".join(lines), namespace)  # noqa: S102
+        return namespace["_tick_gated"]  # type: ignore[return-value]
 
     # -------------------------------------------------------------- control
 
@@ -310,6 +364,58 @@ class CompiledSimulator(PackedLaneMixin):
     def vec_is_full(self, vec: int) -> bool:
         """True if every active lane of *vec* is set."""
         return (vec & self.mask) == self.mask
+
+    def gather_lanes(self, vec: int, lanes: Sequence[int]) -> int:
+        """Pack the selected lanes of *vec* into a dense Python-int mask.
+
+        Bit *j* of the result is lane ``lanes[j]`` of *vec* — the compaction
+        primitive: surviving lanes gathered here and scattered into a
+        narrower batch preserve their per-lane state exactly.
+        """
+        out = 0
+        for j, lane in enumerate(lanes):
+            out |= ((vec >> lane) & 1) << j
+        return out
+
+    def scatter_lanes(self, vec: int, lanes: Sequence[int], bits: int) -> int:
+        """Copy of *vec* with lane ``lanes[j]`` set to bit *j* of *bits*.
+
+        The inverse of :meth:`gather_lanes`; used to drop repacked or
+        freshly activated per-lane state into an existing lane vector
+        without disturbing the other lanes.
+        """
+        for j, lane in enumerate(lanes):
+            bit = 1 << lane
+            if (bits >> j) & 1:
+                vec |= bit
+            else:
+                vec &= ~bit
+        return vec & self.mask
+
+    def diverging_rows(
+        self,
+        row_golden: Sequence[Tuple[int, int]],
+        active: int,
+    ) -> Tuple[int, int]:
+        """Active-lane divergence of value rows against broadcast golden bits.
+
+        *row_golden* is a sequence of ``(value_idx, golden_bit)`` pairs.
+        Returns ``(diff, rows)``: ``diff`` is the union of diverging lanes
+        (active lanes where any row differs from its golden bit) and bit *k*
+        of ``rows`` is set when row *k* itself diverges — the per-flip-flop
+        frontier probe the cone-gated scheduler runs at every retirement
+        check.
+        """
+        diff = 0
+        rows = 0
+        values = self.values
+        mask = self.mask
+        for k, (idx, bit) in enumerate(row_golden):
+            d = (values[idx] ^ (mask if bit else 0)) & active
+            if d:
+                diff |= d
+                rows |= 1 << k
+        return diff, rows
 
     # ----------------------------------------------------------------- misc
 

@@ -162,6 +162,55 @@ class NumPyWideSimulator(PackedLaneMixin):
         exec("\n".join(lines), namespace)  # noqa: S102
         return namespace["_tick"]
 
+    # ------------------------------------------------- partitioned evaluation
+
+    def compile_partition_evals(self, partitions):
+        """Compile one ``_eval``-style callable per cell partition.
+
+        Same contract as
+        :meth:`repro.sim.compiled.CompiledSimulator.compile_partition_evals`,
+        generated with this backend's ``^ m`` template overrides.
+        """
+        fns = []
+        for cells in partitions:
+            source = build_eval_source(
+                self.netlist,
+                self.net_index,
+                self._fallback_cells,
+                templates=_NUMPY_TEMPLATES,
+                cells=cells,
+            )
+            namespace: Dict[str, object] = {}
+            exec(source, namespace)  # noqa: S102 - generated from our own netlist
+            fns.append(namespace["_eval"])
+        return fns
+
+    def compile_gated_tick(self):
+        """Compile a clock edge gated per flip-flop by a golden-write mask.
+
+        Same contract as
+        :meth:`repro.sim.compiled.CompiledSimulator.compile_gated_tick`; the
+        read phase copies D rows (views would observe shifted Q writes) and
+        golden bits broadcast to whole ``uint64`` lane blocks.
+        """
+        lines = ["def _tick_gated(v, m, gw, gs):", "    z = m ^ m"]
+        assigns = []
+        for i, (q, d, rn) in enumerate(zip(self._ff_q, self._ff_d, self._ff_rn)):
+            lines.append(f"    if (gw >> {i}) & 1:")
+            lines.append(f"        t{i} = m if (gs >> {i}) & 1 else z")
+            lines.append("    else:")
+            if rn is None:
+                lines.append(f"        t{i} = v[{d}].copy()")
+            else:
+                lines.append(f"        t{i} = v[{d}] & v[{rn}]")
+            assigns.append(f"    v[{q}] = t{i}")
+        lines.extend(assigns)
+        if not self._ff_q:
+            lines.append("    pass")
+        namespace: Dict[str, object] = {}
+        exec("\n".join(lines), namespace)  # noqa: S102
+        return namespace["_tick_gated"]
+
     # -------------------------------------------------------------- control
 
     def resize_lanes(self, n_lanes: int) -> None:
@@ -286,6 +335,47 @@ class NumPyWideSimulator(PackedLaneMixin):
     def vec_is_full(self, vec: np.ndarray) -> bool:
         """True if every active lane of *vec* is set."""
         return bool(((vec & self.mask) == self.mask).all())
+
+    def gather_lanes(self, vec: np.ndarray, lanes) -> int:
+        """Pack the selected lanes of *vec* into a dense Python-int mask."""
+        packed = words_to_int(vec)
+        out = 0
+        for j, lane in enumerate(lanes):
+            out |= ((packed >> lane) & 1) << j
+        return out
+
+    def scatter_lanes(self, vec: np.ndarray, lanes, bits: int) -> np.ndarray:
+        """Copy of *vec* with lane ``lanes[j]`` set to bit *j* of *bits*."""
+        packed = words_to_int(vec)
+        for j, lane in enumerate(lanes):
+            bit = 1 << lane
+            if (bits >> j) & 1:
+                packed |= bit
+            else:
+                packed &= ~bit
+        return int_to_words(packed & lane_mask(self.n_lanes), self.n_words)
+
+    def diverging_rows(self, row_golden, active: np.ndarray):
+        """Active-lane divergence of value rows against broadcast golden bits.
+
+        Same contract as
+        :meth:`repro.sim.compiled.CompiledSimulator.diverging_rows`, computed
+        as one vectorized pass over a ``(rows, n_words)`` block instead of a
+        per-row Python loop.
+        """
+        if not row_golden:
+            return self.broadcast(0), 0
+        idxs = [idx for idx, _bit in row_golden]
+        golden = np.zeros((len(row_golden), self.n_words), dtype=np.uint64)
+        ones = np.fromiter(
+            (bool(bit) for _idx, bit in row_golden), dtype=bool, count=len(row_golden)
+        )
+        golden[ones] = self.mask
+        diff_block = (self.values[idxs] ^ golden) & active
+        per_row = diff_block.any(axis=1)
+        diff = np.bitwise_or.reduce(diff_block, axis=0)
+        rows = int.from_bytes(np.packbits(per_row, bitorder="little").tobytes(), "little")
+        return diff, rows
 
     # ----------------------------------------------------------------- misc
 

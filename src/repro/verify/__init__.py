@@ -18,6 +18,7 @@ from .diff import (
     run_event_differential,
     run_injector_check,
     run_lane_differential,
+    run_scheduler_check,
     verify_seed,
     verify_seeds,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "run_event_differential",
     "run_injector_check",
     "run_lane_differential",
+    "run_scheduler_check",
     "verify_seed",
     "verify_seeds",
     "FUZZ_SCALES",

@@ -22,7 +22,15 @@ oracle on identical fuzzed stimulus and reports the *first divergence* as a
   optimisations; verdict or error-latency mismatches are divergences.  The
   check runs once per enrolled injector backend — ``compiled``, ``numpy``
   and the ``fused`` sweep kernel — against a *shared* brute-force referee,
-  so swapping substrates can never silently change campaign outcomes.
+  so swapping substrates can never silently change campaign outcomes;
+* **scheduled-vs-naive replay** — the adaptive injection scheduler
+  (:class:`~repro.faultinjection.scheduler.AdaptiveScheduler`: mixed-cycle
+  lane refill, compaction/repack, cone-gated evaluation) runs a
+  mixed-cycle request set per enrolled backend and every per-injection
+  verdict/latency is compared against a naive per-cycle
+  :meth:`~repro.faultinjection.injector.FaultInjector.run_batch` replay of
+  the same injections.  Small lane budgets force multi-pass refill and
+  repack; ``cone_gating="on"`` exercises the partition-skipping path.
 
 ``verify_seed``/``verify_seeds`` tie the three together over fuzzed circuits
 and are what ``python -m repro.experiments verify`` and the CI fuzz stage
@@ -60,6 +68,7 @@ __all__ = [
     "run_lane_differential",
     "run_event_differential",
     "run_injector_check",
+    "run_scheduler_check",
     "brute_force_seu",
     "verify_seed",
     "verify_seeds",
@@ -381,6 +390,99 @@ def run_injector_check(
     return divergences, checked
 
 
+# ------------------------------------------------------ scheduled-vs-naive
+
+
+def run_scheduler_check(
+    netlist: Netlist,
+    spec: FuzzSpec,
+    n_injection_cycles: int = 3,
+    stop_at_first: bool = True,
+    backends: Sequence[str] = BACKEND_NAMES,
+    max_lanes: int = 5,
+) -> Tuple[List[Divergence], int]:
+    """Replay :class:`AdaptiveScheduler` verdicts against naive batches.
+
+    Every flip-flop is injected at a handful of seed-drawn cycles.  The
+    whole mixed-cycle request set runs through one scheduler per enrolled
+    backend — with a deliberately tiny ``max_lanes`` so activation refill,
+    deferral across passes and repack compaction all trigger, and with
+    ``cone_gating="on"`` on the cycle substrates so partition skipping and
+    the gated tick are exercised — and each verdict/latency is compared to
+    the naive same-cycle :meth:`FaultInjector.run_batch` replay.
+
+    When the fuzzed testbench has loopback paths, the criterion observes
+    only the *non-loopback* outputs.  That keeps divergence that travels
+    through a tap invisible until it re-emerges downstream — exactly the
+    propagation the cone-gating frontier must follow across loopback
+    edges, which an all-outputs criterion (every tap source directly
+    observable) could never put under test.
+    """
+    testbench = generate_testbench(netlist, spec)
+    golden = testbench.run_golden()
+    loopback_sources = {
+        src for path in testbench.loopbacks for src in path.sources
+    }
+    observed = [n for n in netlist.outputs if n not in loopback_sources]
+    criterion = (
+        AnyOutputCriterion(nets=observed)
+        if observed
+        else AnyOutputCriterion.all_outputs(netlist)
+    )
+
+    rng = random.Random(f"schedule:{spec.seed}")
+    first = min(2, golden.n_cycles - 1)
+    candidates = list(range(first, golden.n_cycles))
+    cycles = sorted(rng.sample(candidates, min(n_injection_cycles, len(candidates))))
+    flip_flops = netlist.flip_flops()
+    requests = [
+        (cycle, ff_idx) for cycle in cycles for ff_idx in range(len(flip_flops))
+    ]
+    if not requests:
+        return [], 0
+
+    # Naive referee: one run_batch per injection cycle on the compiled
+    # substrate (itself cross-checked against brute force elsewhere).
+    referee = FaultInjector(
+        netlist, testbench, golden, criterion, check_interval=4, backend="compiled"
+    )
+    expected: List[Tuple[bool, Optional[int]]] = []
+    for cycle in cycles:
+        outcome = referee.run_batch(cycle, list(range(len(flip_flops))))
+        for lane in range(len(flip_flops)):
+            failed = bool((outcome.failed_mask >> lane) & 1)
+            expected.append((failed, outcome.latencies.get(lane) if failed else None))
+
+    divergences: List[Divergence] = []
+    checked = 0
+    for backend in backends:
+        injector = FaultInjector(
+            netlist, testbench, golden, criterion, check_interval=4, backend=backend
+        )
+        scheduled = injector.run_scheduled(
+            requests, max_lanes=max_lanes, cone_gating="on"
+        )
+        label = f"scheduled[{backend}]"
+        for k, (request, want, got) in enumerate(
+            zip(requests, expected, scheduled.verdicts)
+        ):
+            checked += 1
+            if got != want:
+                cycle, ff_idx = request
+                divergences.append(
+                    Divergence(
+                        kind=f"{label}-vs-naive",
+                        cycle=cycle,
+                        net=flip_flops[ff_idx].name,
+                        values={label: got, "naive": want},
+                        detail=f"request {k} verdict/latency mismatch",
+                    )
+                )
+                if stop_at_first:
+                    return divergences, checked
+    return divergences, checked
+
+
 # ------------------------------------------------------------------ seed sweep
 
 
@@ -388,16 +490,19 @@ def verify_seed(
     spec: FuzzSpec,
     with_event: bool = True,
     with_injector: bool = True,
+    with_scheduler: bool = True,
     n_lanes: int = 3,
     cycle_backends: Sequence[str] = CYCLE_BACKENDS,
     injector_backends: Sequence[str] = BACKEND_NAMES,
 ) -> SeedReport:
     """Run every differential check on one fuzzed circuit.
 
-    By default every cycle backend is lane-diffed against the oracle and
-    every injector substrate (including the fused sweep kernel) is replayed
-    against brute force, so a fuzz sweep certifies the whole pluggable
-    simulation substrate at once.
+    By default every cycle backend is lane-diffed against the oracle, every
+    injector substrate (including the fused sweep kernel) is replayed
+    against brute force, and the adaptive scheduler's mixed-cycle verdicts
+    are replayed against naive batches on every backend — so a fuzz sweep
+    certifies the whole pluggable simulation substrate, naive and
+    scheduled, at once.
     """
     netlist = generate_netlist(spec)
     stats = netlist.stats()
@@ -423,6 +528,12 @@ def verify_seed(
         )
         report.divergences.extend(divergences)
         report.injections_checked = checked
+    if with_scheduler:
+        divergences, checked = run_scheduler_check(
+            netlist, spec, backends=injector_backends
+        )
+        report.divergences.extend(divergences)
+        report.injections_checked += checked
     return report
 
 

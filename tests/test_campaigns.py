@@ -43,15 +43,18 @@ def tiny_spec(**overrides) -> CampaignSpec:
 
 
 def result_key(result):
-    """The bit-exactness contract: per-ff counters + engine cost metrics."""
-    return (
-        {
-            name: (r.n_injections, r.n_failures, r.latency_sum)
-            for name, r in result.results.items()
-        },
-        result.n_forward_runs,
-        result.total_lane_cycles,
-    )
+    """The bit-exactness contract: per-flip-flop counters.
+
+    Engine-cost metrics (``n_forward_runs``, ``total_lane_cycles``) are
+    *execution-shape* metrics: with the adaptive scheduler they depend on
+    how buckets fold into passes (and hence on sharding), so only the
+    ``batch`` scheduler pins them — see
+    ``test_legacy_batch_schedule_matches_serial_exactly``.
+    """
+    return {
+        name: (r.n_injections, r.n_failures, r.latency_sum)
+        for name, r in result.results.items()
+    }
 
 
 # ------------------------------------------------------------- scheduling
@@ -79,7 +82,41 @@ def test_legacy_schedule_matches_serial_reference(
     engine = CampaignEngine(spec, jobs=2)
     parallel = engine.run()
     assert result_key(parallel) == result_key(reference)
-    assert engine.last_report.executed_forward_runs == reference.n_forward_runs
+    assert engine.last_report.executed_forward_runs == parallel.n_forward_runs
+
+
+def test_legacy_batch_schedule_matches_serial_exactly(
+    tiny_mac, tiny_workload, tiny_golden
+):
+    """With scheduler="batch" even the engine-cost metrics are bit-exact."""
+    from repro.faultinjection import PacketInterfaceCriterion
+
+    criterion = PacketInterfaceCriterion(
+        tiny_workload.valid_nets, tiny_workload.data_nets
+    )
+    runner = StatisticalFaultCampaign(
+        tiny_mac,
+        tiny_workload.testbench,
+        criterion,
+        active_window=tiny_workload.active_window,
+        golden=tiny_golden,
+        scheduler="batch",
+    )
+    reference = runner.run(n_injections=8, seed=5)
+
+    spec = tiny_spec(schedule="legacy", scheduler="batch")
+    parallel = CampaignEngine(spec, jobs=2).run()
+    assert result_key(parallel) == result_key(reference)
+    assert parallel.n_forward_runs == reference.n_forward_runs
+    assert parallel.total_lane_cycles == reference.total_lane_cycles
+
+
+def test_adaptive_and_batch_schedulers_agree(tiny_mac, tiny_workload, tiny_golden):
+    """Per-injection verdicts are scheduler-invariant, so the per-ff
+    counters of adaptive and batch executions are identical."""
+    adaptive = CampaignEngine(tiny_spec(), jobs=1).run()
+    batch = CampaignEngine(tiny_spec(scheduler="batch"), jobs=1).run()
+    assert result_key(adaptive) == result_key(batch)
 
 
 def test_stream_parallel_matches_serial():
@@ -196,7 +233,7 @@ def test_store_topup_runs_only_the_delta_and_matches_fresh(tmp_path):
     assert topup.last_report.executed_lanes == full_lanes  # 6 more per ff
 
     fresh = run_campaign(big)
-    assert result_key(extended)[0] == result_key(fresh)[0]
+    assert result_key(extended) == result_key(fresh)
 
 
 def test_interrupted_run_resumes_from_checkpoint(tmp_path):
@@ -220,7 +257,7 @@ def test_interrupted_run_resumes_from_checkpoint(tmp_path):
     assert resumed.last_report.resumed_buckets > 0
     # ... and only the remainder was simulated
     fresh = run_campaign(spec)
-    assert result_key(result)[0] == result_key(fresh)[0]
+    assert result_key(result) == result_key(fresh)
 
 
 def test_store_family_and_cache_keys():

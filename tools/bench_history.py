@@ -1,0 +1,124 @@
+"""Append a smoke-benchmark record to the repo's perf trajectory.
+
+Runs a fixed, fast benchmark (the tiny-scale flat campaign, batch and
+adaptive execution on the compiled backend, plus one raw cycle-throughput
+probe) and appends one JSON record to
+``benchmarks/results/trajectory.json``.  CI runs this on every push as a
+non-blocking job, so the file accumulates a per-commit throughput history
+that perf PRs can cite::
+
+    python tools/bench_history.py --label "adaptive scheduler"
+    python tools/bench_history.py --out /tmp/trajectory.json  # scratch copy
+
+The smoke workload is deliberately small (a few seconds) — the numbers are
+for *trajectory*, not absolutes; use ``benchmarks/bench_scheduler.py
+--scale full`` for acceptance-grade measurements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "trajectory.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+
+def git_commit() -> Optional[str]:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def run_smoke() -> Dict:
+    """The fixed smoke benchmark: tiny campaign + one cycle-throughput probe."""
+    from bench_scheduler import run_campaign_row
+    from bench_substrate import measure_cycle_throughput
+    from common import preset_workload_parts
+
+    parts = preset_workload_parts("tiny")
+    rows: List[Dict] = []
+    for scheduler in ("batch", "adaptive"):
+        row = run_campaign_row(parts, "compiled", scheduler, n_injections=6)
+        row.pop("counters", None)
+        rows.append(row)
+    cycle_lps = measure_cycle_throughput(parts.netlist, "compiled", 256, n_cycles=12)
+    return {
+        "campaign_rows": rows,
+        "cycle_lane_cycles_per_sec": round(cycle_lps),
+        "adaptive_speedup": round(
+            rows[1]["injections_per_sec"] / max(1, rows[0]["injections_per_sec"]), 2
+        ),
+    }
+
+
+def append_record(out_path: Path, label: Optional[str]) -> Dict:
+    start = time.perf_counter()
+    smoke = run_smoke()
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": git_commit(),
+        "label": label,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "bench_wall_seconds": round(time.perf_counter() - start, 2),
+        **smoke,
+    }
+    doc = {"version": 1, "records": []}
+    if out_path.exists():
+        try:
+            loaded = json.loads(out_path.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("records"), list):
+                doc = loaded
+        except (OSError, ValueError):
+            pass  # corrupt trajectory: start a fresh one rather than fail CI
+    doc["records"].append(record)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    return record
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default=None, help="free-form record label")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="trajectory file to append to"
+    )
+    args = parser.parse_args(argv)
+
+    record = append_record(args.out, args.label)
+    rows = record["campaign_rows"]
+    print(
+        f"commit={record['commit']} batch={rows[0]['injections_per_sec']} inj/s "
+        f"adaptive={rows[1]['injections_per_sec']} inj/s "
+        f"({record['adaptive_speedup']}x), "
+        f"cycle={record['cycle_lane_cycles_per_sec']} lane-cycles/s"
+    )
+    print(f"appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
