@@ -1,0 +1,120 @@
+"""Benchmark: vectorized vs. networkx feature extraction.
+
+The acceptance benchmark of the feature-layer refactor: extract the full
+per-flip-flop feature matrix of the synthesized xgmac MAC with both
+engines — the batched mask/bitset extractor
+(:mod:`repro.features.vectorized`, the default) and the per-flip-flop
+networkx traversal reference — and report flip-flop rows per second plus
+the speedup.  The matrices are asserted bit-identical, so the speedup
+carries no accuracy trade-off.  Run standalone to reproduce
+``benchmarks/results/features.json``::
+
+    python benchmarks/bench_features.py --circuit xgmac \
+        --out benchmarks/results/features.json
+
+Through pytest the module keeps a tiny-circuit smoke row so CI stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.circuits import get_circuit
+from repro.circuits.workloads import build_workload_for
+from repro.features.extractor import ENGINES, FeatureExtractor
+from repro.sim.activity import ActivityTrace
+
+from common import write_json
+
+
+def measure_engine(netlist, golden, engine: str, repeats: int = 3) -> Dict:
+    """Best-of-*repeats* wall time for one engine's full matrix extraction."""
+    best = float("inf")
+    matrix = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        extractor = FeatureExtractor(netlist, engine=engine)
+        matrix = extractor.matrix(golden)
+        best = min(best, time.perf_counter() - start)
+    n_ffs = matrix.shape[0]
+    return {
+        "engine": engine,
+        "wall_seconds": round(best, 4),
+        "n_ffs": n_ffs,
+        "n_features": matrix.shape[1],
+        "ffs_per_sec": round(n_ffs / best, 1),
+        "_matrix": matrix,
+    }
+
+
+def run_benchmark(circuit: str = "xgmac", repeats: int = 3) -> Dict:
+    """Both engines on one circuit; asserts bit-identical matrices."""
+    netlist = get_circuit(circuit)
+    workload = build_workload_for(
+        circuit, netlist, n_frames=4, min_len=2, max_len=4, gap=12, seed=7
+    )
+    golden = workload.testbench.run_golden()
+    # Pre-compute (and cache) the activity statistics so both engines time
+    # only the graph work they differ in.
+    ActivityTrace.from_golden(golden)
+    netlist.topological_comb_order()
+
+    rows: List[Dict] = [
+        measure_engine(netlist, golden, engine, repeats=repeats) for engine in ENGINES
+    ]
+    matrices = [row.pop("_matrix") for row in rows]
+    identical = all(np.array_equal(matrices[0], m) for m in matrices[1:])
+    assert identical, "engines disagree on the feature matrix"
+    by_engine = {row["engine"]: row for row in rows}
+    speedup = (
+        by_engine["networkx"]["wall_seconds"] / by_engine["vectorized"]["wall_seconds"]
+    )
+    return {
+        "circuit": circuit,
+        "rows": rows,
+        "bit_identical": identical,
+        "vectorized_speedup": round(speedup, 2),
+    }
+
+
+# ------------------------------------------------------------------ pytest
+
+
+def test_feature_bench_smoke():
+    """Tiny-circuit smoke: both engines agree and the benchmark runs."""
+    payload = run_benchmark("xgmac_tiny", repeats=1)
+    assert payload["bit_identical"]
+    assert {row["engine"] for row in payload["rows"]} == set(ENGINES)
+
+
+# -------------------------------------------------------------- standalone
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="xgmac")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=None, help="write JSON results here")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(args.circuit, repeats=args.repeats)
+    for row in payload["rows"]:
+        print(
+            f"{row['engine']:>10s}: {row['wall_seconds']*1000:8.1f} ms "
+            f"({row['ffs_per_sec']:,.0f} FF rows/s)"
+        )
+    print(
+        f"vectorized speedup: {payload['vectorized_speedup']}x "
+        f"(bit-identical: {payload['bit_identical']})"
+    )
+    write_json(args.out, payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,10 @@ The package is organized bottom-up, mirroring the paper's flow (Fig. 1):
     reference oracle, cross-backend diff harness with shrinking.
 """
 
+# Defined before the submodule imports: repro.data records it as dataset
+# provenance and imports it back from here.
+__version__ = "1.4.0"
+
 from . import (
     campaigns,
     circuits,
@@ -55,8 +59,6 @@ from . import (
     verify,
 )
 from .data import DATASET_PRESETS, DatasetSpec, generate_dataset, get_dataset
-
-__version__ = "1.3.0"
 
 __all__ = [
     "campaigns",

@@ -19,7 +19,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..circuits.library import get_circuit
-from ..circuits.workloads import XgMacWorkload, build_xgmac_workload
+from ..circuits.workloads import Workload, build_workload_for, default_criterion
 from ..faultinjection.scheduler import EXECUTION_SCHEDULERS
 from ..faultinjection.classify import (
     AnyOutputCriterion,
@@ -33,7 +33,7 @@ from ..sim.testbench import GoldenTrace
 __all__ = ["CampaignSpec", "CampaignContext", "build_context"]
 
 SCHEDULES = ("stream", "legacy")
-CRITERIA = ("packet", "any_output")
+CRITERIA = ("packet", "any_output", "observed")
 
 
 @dataclass(frozen=True)
@@ -162,7 +162,16 @@ class CampaignSpec:
         scheduler: str = "adaptive",
     ) -> "CampaignSpec":
         """Mirror a :class:`repro.data.DatasetSpec` (duck-typed to avoid the
-        circular import; ``repro.data`` builds on this package)."""
+        circular import; ``repro.data`` builds on this package).
+
+        A dataset spec's ``criterion`` of ``"auto"`` resolves here to the
+        workload registry's default for the circuit, so the campaign spec —
+        and with it the result-store content address — always names a
+        concrete criterion.
+        """
+        criterion = getattr(dataset_spec, "criterion", "auto")
+        if criterion == "auto":
+            criterion = default_criterion(dataset_spec.circuit)
         return cls(
             backend=backend,
             scheduler=scheduler,
@@ -177,6 +186,7 @@ class CampaignSpec:
             ),
             seed=dataset_spec.campaign_seed,
             schedule=schedule,
+            criterion=criterion,
         )
 
 
@@ -190,7 +200,7 @@ class CampaignContext:
     """
 
     netlist: Netlist
-    workload: XgMacWorkload
+    workload: Workload
     criterion: FailureCriterion
     golden: Optional[GoldenTrace] = field(default=None, repr=False)
 
@@ -217,9 +227,16 @@ class CampaignContext:
 
 
 def build_context(spec: CampaignSpec) -> CampaignContext:
-    """Instantiate the netlist, workload and criterion a spec describes."""
+    """Instantiate the netlist, workload and criterion a spec describes.
+
+    The workload comes from the circuit's registered builder
+    (:func:`repro.circuits.workloads.build_workload_for`): frame streaming
+    for the MAC presets, the generic burst testbench for the library
+    circuits, or whatever a downstream package registered.
+    """
     netlist = get_circuit(spec.circuit)
-    workload = build_xgmac_workload(
+    workload = build_workload_for(
+        spec.circuit,
         netlist,
         n_frames=spec.n_frames,
         min_len=spec.min_len,
@@ -230,6 +247,10 @@ def build_context(spec: CampaignSpec) -> CampaignContext:
     if spec.criterion == "packet":
         criterion: FailureCriterion = PacketInterfaceCriterion(
             workload.valid_nets, workload.data_nets
+        )
+    elif spec.criterion == "observed":
+        criterion = AnyOutputCriterion(
+            nets=list(workload.valid_nets) + list(workload.data_nets)
         )
     else:
         criterion = AnyOutputCriterion.all_outputs(netlist)

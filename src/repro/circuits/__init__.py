@@ -10,15 +10,33 @@ from .counters import (
     make_lfsr,
     make_shift_register,
 )
-from .crc import CRC32_POLY, crc32_bytes, crc32_step, crc32_update_word, crc_bytes_msb_first
-from .fifo import FifoPorts, add_sync_fifo
-from .fsm import FSM
-from .library import CIRCUIT_BUILDERS, available_circuits, get_circuit
+from .crc import (
+    CRC32_POLY,
+    crc32_bytes,
+    crc32_step,
+    crc32_update_word,
+    crc_bytes_msb_first,
+    make_crc32,
+)
+from .fifo import FifoPorts, add_sync_fifo, make_fifo
+from .fsm import FSM, make_fsm_controller
+from .library import (
+    CIRCUIT_BUILDERS,
+    LIBRARY_CIRCUITS,
+    available_circuits,
+    get_circuit,
+)
 from .workloads import (
+    Workload,
     XgMacWorkload,
+    build_burst_workload,
+    build_workload_for,
     build_xgmac_workload,
     decode_rx_stream,
+    default_criterion,
     expected_rx_entries,
+    make_burst_builder,
+    register_workload,
 )
 from .xgmac import XGMAC_PRESETS, XgMacConfig, build_xgmac_module, make_xgmac
 
@@ -36,16 +54,26 @@ __all__ = [
     "crc32_step",
     "crc32_update_word",
     "crc_bytes_msb_first",
+    "make_crc32",
     "FifoPorts",
     "add_sync_fifo",
+    "make_fifo",
     "FSM",
+    "make_fsm_controller",
     "CIRCUIT_BUILDERS",
+    "LIBRARY_CIRCUITS",
     "available_circuits",
     "get_circuit",
+    "Workload",
     "XgMacWorkload",
+    "build_burst_workload",
+    "build_workload_for",
     "build_xgmac_workload",
     "decode_rx_stream",
+    "default_criterion",
     "expected_rx_entries",
+    "make_burst_builder",
+    "register_workload",
     "XGMAC_PRESETS",
     "XgMacConfig",
     "build_xgmac_module",

@@ -21,10 +21,20 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import List, Sequence, Tuple
 
-from ..synth.expr import Expr, Xor, ZERO
-from ..synth.wordlib import Word
+from ..netlist.core import Netlist
+from ..synth.expr import Expr, Not, Xor, ZERO
+from ..synth.module import Module
+from ..synth.synthesis import synthesize
+from ..synth.wordlib import Word, const_word, mux_word, reduce_and
 
-__all__ = ["CRC32_POLY", "crc32_step", "crc32_bytes", "crc32_update_word", "crc_bytes_msb_first"]
+__all__ = [
+    "CRC32_POLY",
+    "crc32_step",
+    "crc32_bytes",
+    "crc32_update_word",
+    "crc_bytes_msb_first",
+    "make_crc32",
+]
 
 CRC32_POLY = 0x04C11DB7
 _MASK32 = 0xFFFFFFFF
@@ -109,3 +119,29 @@ def crc32_update_word(crc: Sequence[Expr], data: Sequence[Expr]) -> Word:
                 terms.append(data[j])
         next_bits.append(Xor.of(*terms) if terms else ZERO)
     return next_bits
+
+
+# --------------------------------------------------------------------------
+# Stand-alone circuit (synthesized, with primary I/O) for the library.
+# --------------------------------------------------------------------------
+
+
+def make_crc32(name: str = "crc32") -> Netlist:
+    """Stand-alone byte-wise CRC-32 engine.
+
+    Feeds the update network from a data-byte input while ``en`` is high and
+    synchronously clears on ``clear``; exposes the low CRC byte and an
+    all-zero flag (the intact-frame check of the receive path).  The 32-bit
+    state register behind a deep XOR network makes this the most
+    XOR-dominated circuit in the library.
+    """
+    module = Module(name)
+    enable = module.input("en")
+    clear = module.input("clear")
+    data = module.input_bus("data", 8)
+    crc = module.reg_bus("crc", 32)
+    advanced = mux_word(enable, crc32_update_word(crc, data), crc)
+    module.next(crc, mux_word(clear, const_word(0, 32), advanced))
+    module.output_bus("crc_low", list(crc[:8]))
+    module.output("crc_zero", reduce_and([Not.of(bit) for bit in crc]))
+    return synthesize(module)

@@ -19,11 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from ..netlist.core import Netlist
 from ..synth.expr import And, Expr, Not, Sig
 from ..synth.module import Module
+from ..synth.synthesis import synthesize
 from ..synth.wordlib import Word, decode, eq, inc, mux_word, onehot_mux
 
-__all__ = ["FifoPorts", "add_sync_fifo"]
+__all__ = ["FifoPorts", "add_sync_fifo", "make_fifo"]
 
 
 @dataclass
@@ -106,3 +108,26 @@ def add_sync_fifo(
         do_write=do_write,
         do_read=do_read,
     )
+
+
+# --------------------------------------------------------------------------
+# Stand-alone circuit (synthesized, with primary I/O) for the library.
+# --------------------------------------------------------------------------
+
+
+def make_fifo(width: int = 4, depth: int = 4, name: str = "fifo") -> Netlist:
+    """Stand-alone synchronous FIFO with first-word-fall-through read.
+
+    The un-reset payload registers give this circuit the same low-FDR
+    population the MAC's frame buffers exhibit, at library-circuit scale.
+    """
+    module = Module(f"{name}{width}x{depth}")
+    wr_en = module.input("wr_en")
+    wr_data = module.input_bus("wr_data", width)
+    rd_en = module.input("rd_en")
+    ports = add_sync_fifo(module, "f", width, depth, wr_en, wr_data, rd_en)
+    module.output_bus("rd_data", ports.rd_data)
+    module.output("empty", ports.empty)
+    module.output("full", ports.full)
+    module.output("rd_val", ports.do_read)
+    return synthesize(module)

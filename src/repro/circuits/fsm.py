@@ -11,11 +11,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-from ..synth.expr import Expr, Mux, Sig
+from ..netlist.core import Netlist
+from ..synth.expr import Expr, Mux, Or, Sig
 from ..synth.module import Module
-from ..synth.wordlib import Word, const_word, eq_const, mux_word
+from ..synth.synthesis import synthesize
+from ..synth.wordlib import Word, const_word, eq_const, mux_word, reduce_and
 
-__all__ = ["FSM"]
+__all__ = ["FSM", "make_fsm_controller"]
 
 
 @dataclass
@@ -87,3 +89,43 @@ class FSM:
             target_word = const_word(self.encoding[tr.target], self.width)
             next_state = mux_word(take, target_word, next_state)
         self.module.next(self.state_reg, next_state)
+
+
+# --------------------------------------------------------------------------
+# Stand-alone circuit (synthesized, with primary I/O) for the library.
+# --------------------------------------------------------------------------
+
+
+def make_fsm_controller(timer_bits: int = 4, name: str = "fsm_ctrl") -> Netlist:
+    """Stand-alone run-control FSM with an embedded timer.
+
+    A four-state Moore controller (IDLE → RUN → WAIT/DONE → IDLE) driving a
+    *timer_bits*-wide run timer: ``start`` launches a run, ``stop`` pauses
+    it, the timer's terminal count completes it, ``ack`` returns to idle.
+    Control-dominated logic — the opposite end of the spectrum from the
+    datapath-heavy FIFO and CRC circuits.
+    """
+    from .counters import add_counter
+
+    module = Module(name)
+    start = module.input("start")
+    stop = module.input("stop")
+    ack = module.input("ack")
+
+    fsm = FSM(module, "ctl", ["IDLE", "RUN", "WAIT", "DONE"])
+    in_run = fsm.is_in("RUN")
+    timer = add_counter(module, "timer", timer_bits, in_run, fsm.is_in("IDLE"))
+    at_max = reduce_and(list(timer))
+
+    fsm.transition("IDLE", start, "RUN")
+    fsm.transition("RUN", at_max, "DONE")
+    fsm.transition("RUN", stop, "WAIT")
+    fsm.transition("WAIT", start, "RUN")
+    fsm.transition("WAIT", ack, "IDLE")
+    fsm.transition("DONE", ack, "IDLE")
+    fsm.build()
+
+    module.output("busy", Or.of(in_run, fsm.is_in("WAIT")))
+    module.output("done", fsm.is_in("DONE"))
+    module.output_bus("count", timer)
+    return synthesize(module)

@@ -10,9 +10,17 @@ from typing import Callable, Dict, List
 
 from ..netlist.core import Netlist
 from .counters import make_counter, make_gray_counter, make_lfsr, make_shift_register
+from .crc import make_crc32
+from .fifo import make_fifo
+from .fsm import make_fsm_controller
 from .xgmac import XGMAC_PRESETS, make_xgmac
 
-__all__ = ["CIRCUIT_BUILDERS", "get_circuit", "available_circuits"]
+__all__ = [
+    "CIRCUIT_BUILDERS",
+    "LIBRARY_CIRCUITS",
+    "get_circuit",
+    "available_circuits",
+]
 
 
 def _preset_builder(name: str) -> Callable[[], Netlist]:
@@ -30,9 +38,19 @@ CIRCUIT_BUILDERS: Dict[str, Callable[[], Netlist]] = {
     "lfsr8": lambda: make_lfsr(8),
     "lfsr16": lambda: make_lfsr(16),
     "gray8": lambda: make_gray_counter(8),
+    "fifo4x4": lambda: make_fifo(4, 4),
+    "fifo8x4": lambda: make_fifo(8, 4),
+    "crc32": make_crc32,
+    "fsm_ctrl": lambda: make_fsm_controller(4),
 }
 for _preset in XGMAC_PRESETS:
     CIRCUIT_BUILDERS[_preset] = _preset_builder(_preset)
+
+#: The small self-contained circuits (everything except the MAC presets) —
+#: the population the cross-circuit transfer experiment sweeps.
+LIBRARY_CIRCUITS: List[str] = sorted(
+    name for name in CIRCUIT_BUILDERS if not name.startswith("xgmac")
+)
 
 
 def get_circuit(name: str) -> Netlist:

@@ -13,10 +13,27 @@ from .extended_features import ExtendedFeaturesResult, run_extended_features
 from .figures import FIGURE_MODELS, FigureResult, run_figure
 from .future_work import FutureWorkResult, run_future_work
 from .importance import ImportanceResult, run_importance
+from .spec import (
+    ExperimentContext,
+    ExperimentOutcome,
+    ExperimentRunner,
+    ExperimentSpec,
+    available_experiments,
+    register_experiment,
+)
 from .table1 import Table1Result, run_table1
+from .transfer import TransferResult, run_transfer
 from .tuning import TuningResult, run_tuning
 
 __all__ = [
+    "ExperimentContext",
+    "ExperimentOutcome",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "available_experiments",
+    "register_experiment",
+    "TransferResult",
+    "run_transfer",
     "AblationResult",
     "run_ablation",
     "CV_FOLDS",

@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments table1 --scale mini
     python -m repro.experiments fig2 fig3 fig4 --scale full --out results/
     python -m repro.experiments all --scale tiny --jobs 4
+    python -m repro.experiments transfer --preset tiny
+    python -m repro.experiments transfer --preset tiny --circuits counter16 fifo4x4 crc32 lfsr16
     python -m repro.experiments campaign --scale mini --jobs 4 --injections 170
     python -m repro.experiments verify --seeds 50 --scale mini
 
@@ -13,13 +15,23 @@ Scales map to the dataset presets of :mod:`repro.data`: ``tiny`` (seconds),
 1012 flip-flops × 170 injections; several minutes on first run, cached
 afterwards).
 
-``--jobs N`` shards the fault-injection campaign across N worker processes
-(results are bit-identical to a serial run); ``--cache-dir`` relocates the
-dataset cache and the campaign result store.  The ``campaign`` command runs
-the parallel campaign engine directly (``stream`` schedule, so repeated runs
-with growing ``--injections`` only simulate the delta) and prints its
-economics; ``--backend {compiled,numpy,fused}`` selects the simulation
-substrate (see ``docs/simulators.md``) without affecting results.
+Every experiment resolves through the unified
+:class:`~repro.experiments.spec.ExperimentRunner`: the CLI builds one
+:class:`~repro.experiments.spec.ExperimentSpec` per requested experiment
+and one shared :class:`~repro.experiments.spec.ExperimentContext`, so a
+batch of experiments on one scale loads its labelled dataset exactly once.
+
+The ``transfer`` experiment runs the cross-circuit matrix (train on
+circuit A, test on circuit B, over the whole circuit library by default);
+``--preset`` picks the per-circuit dataset scale and ``--circuits``
+restricts the sweep.  ``--jobs N`` shards the fault-injection campaigns
+across N worker processes (results are bit-identical to a serial run);
+``--cache-dir`` relocates the dataset cache and the campaign result store.
+The ``campaign`` command runs the parallel campaign engine directly
+(``stream`` schedule, so repeated runs with growing ``--injections`` only
+simulate the delta) and prints its economics; ``--backend
+{compiled,numpy,fused}`` selects the simulation substrate (see
+``docs/simulators.md``) without affecting results.
 
 The ``verify`` command fuzzes ``--seeds`` random circuits and cross-checks
 the compiled simulator, the event-driven simulator, the reference oracle and
@@ -37,16 +49,10 @@ from typing import List, Optional
 
 from ..campaigns import CampaignEngine, CampaignSpec
 from ..faultinjection.scheduler import EXECUTION_SCHEDULERS
-from ..data import DATASET_PRESETS, default_cache_dir, get_dataset
+from ..data import DATASET_PRESETS, default_cache_dir
 from ..sim.backend import BACKEND_NAMES
 from ..verify import verify_seeds
-from .ablation import run_ablation
-from .figures import FIGURE_MODELS, run_figure
-from .future_work import run_future_work
-from .extended_features import run_extended_features
-from .importance import run_importance
-from .table1 import run_table1
-from .tuning import run_tuning
+from .spec import ExperimentContext, ExperimentRunner, ExperimentSpec
 
 EXPERIMENTS = [
     "table1",
@@ -58,7 +64,12 @@ EXPERIMENTS = [
     "tuning",
     "importance",
     "extended-features",
+    "transfer",
 ]
+
+#: ``all`` expands to the single-dataset experiments; the transfer matrix
+#: sweeps its own per-circuit datasets and is requested explicitly.
+ALL_EXPERIMENTS = [e for e in EXPERIMENTS if e != "transfer"]
 
 
 def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None:
@@ -169,6 +180,19 @@ def run_verify_command(args, out_dir: Optional[Path]) -> int:
     return 0
 
 
+def build_spec(experiment: str, args) -> ExperimentSpec:
+    """Map one CLI experiment request onto an :class:`ExperimentSpec`."""
+    if experiment == "transfer":
+        return ExperimentSpec.make(
+            "transfer",
+            scale=args.preset if args.preset is not None else args.scale,
+            seed=args.seed,
+            circuits=args.circuits,
+            model=args.transfer_model,
+        )
+    return ExperimentSpec.make(experiment, scale=args.scale, seed=args.seed)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -178,12 +202,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments",
         nargs="+",
         choices=EXPERIMENTS + ["all", "campaign", "verify"],
-        help="which experiments to run ('campaign' drives the parallel "
-        "fault-injection engine directly; 'verify' differential-tests the "
-        "simulation backends on fuzzed circuits)",
+        help="which experiments to run ('transfer' sweeps the cross-circuit "
+        "matrix; 'campaign' drives the parallel fault-injection engine "
+        "directly; 'verify' differential-tests the simulation backends on "
+        "fuzzed circuits)",
     )
     parser.add_argument("--scale", default="mini", choices=["tiny", "mini", "full"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--preset",
+        default=None,
+        choices=["tiny", "mini", "full"],
+        help="transfer experiment only: per-circuit dataset scale "
+        "(defaults to --scale)",
+    )
+    parser.add_argument(
+        "--circuits",
+        nargs="+",
+        default=None,
+        help="transfer experiment only: restrict the matrix to these circuits "
+        "(default: the whole library)",
+    )
+    parser.add_argument(
+        "--transfer-model",
+        default="k-NN",
+        help="transfer experiment only: paper model to transfer (default: k-NN)",
+    )
     parser.add_argument("--out", type=Path, default=None, help="directory for CSV/JSON outputs")
     parser.add_argument("--regenerate", action="store_true", help="ignore the dataset cache")
     parser.add_argument(
@@ -250,7 +294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
 
     if "all" in args.experiments:
-        requested = list(EXPERIMENTS)
+        requested = list(ALL_EXPERIMENTS)
     else:
         requested = [e for e in args.experiments if e not in ("campaign", "verify")]
     if "verify" in args.experiments:
@@ -266,55 +310,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         print()
 
-    print(f"Loading dataset (scale={args.scale}) ...", flush=True)
-    dataset = get_dataset(
-        args.scale, cache_dir=cache_dir, regenerate=args.regenerate, jobs=args.jobs
+    runner = ExperimentRunner(
+        context=ExperimentContext(
+            cache_dir=cache_dir,
+            jobs=args.jobs,
+            regenerate=args.regenerate,
+            backend=args.backend,
+            scheduler=args.scheduler,
+        )
     )
-    print(f"dataset: {dataset.n_samples} flip-flops x {dataset.n_features} features\n")
+    if any(e != "transfer" for e in requested):
+        print(f"Loading dataset (scale={args.scale}) ...", flush=True)
+        dataset = runner.context.dataset(preset=args.scale)
+        print(f"dataset: {dataset.n_samples} flip-flops x {dataset.n_features} features\n")
 
     for experiment in requested:
         print(f"=== {experiment} ===", flush=True)
-        if experiment == "table1":
-            result = run_table1(dataset, seed=args.seed)
-            print(result.as_text())
-            print(f"\nshape holds (LLS worst, k-NN ~ SVR): {result.shape_holds()}")
-            if out_dir:
-                (out_dir / "table1.json").write_text(json.dumps(result.rows, indent=2))
-        elif experiment in FIGURE_MODELS:
-            result = run_figure(dataset, experiment, seed=args.seed)
-            print(result.as_text())
-            if out_dir:
-                (out_dir / f"{experiment}a_prediction.csv").write_text(result.prediction_csv())
-                (out_dir / f"{experiment}b_learning_curve.csv").write_text(result.curve_csv())
-        elif experiment == "future-work":
-            result = run_future_work(dataset, seed=args.seed)
-            print(result.as_text())
-            print(f"\nbest future-work model: {result.best_model()}")
-            if out_dir:
-                (out_dir / "future_work.json").write_text(json.dumps(result.rows, indent=2))
-        elif experiment == "ablation":
-            result = run_ablation(dataset, seed=args.seed)
-            print(result.as_text())
-            if out_dir:
-                (out_dir / "ablation.json").write_text(json.dumps(result.rows, indent=2))
-        elif experiment == "tuning":
-            result = run_tuning(dataset, seed=args.seed)
-            print(result.as_text())
-            if out_dir:
-                payload = {"best_params": result.best_params, "best_scores": result.best_scores}
-                (out_dir / "tuning.json").write_text(json.dumps(payload, indent=2, default=str))
-        elif experiment == "extended-features":
-            result = run_extended_features(dataset, seed=args.seed)
-            print(result.as_text())
-            if out_dir:
-                payload = {"baseline_r2": result.baseline_r2, "extended_r2": result.extended_r2}
-                (out_dir / "extended_features.json").write_text(json.dumps(payload, indent=2))
-        elif experiment == "importance":
-            result = run_importance(dataset, seed=args.seed)
-            print(result.as_text())
-            if out_dir:
-                rows = result.result.as_rows()
-                (out_dir / "importance.json").write_text(json.dumps(rows, indent=2))
+        outcome = runner.run(build_spec(experiment, args))
+        print(outcome.text)
+        if out_dir:
+            outcome.write_exports(out_dir)
         print()
     return 0
 

@@ -7,8 +7,11 @@ from .extractor import ALL_FEATURES, FEATURE_GROUPS, FeatureExtractor, build_dat
 from .graph import CircuitGraph, ConeSummary
 from .structural import STRUCTURAL_FEATURES, bus_membership, extract_structural
 from .synthesis import SYNTHESIS_FEATURES, extract_synthesis
+from .vectorized import CircuitStats, compute_circuit_stats
 
 __all__ = [
+    "CircuitStats",
+    "compute_circuit_stats",
     "Dataset",
     "DYNAMIC_FEATURES",
     "extract_dynamic",

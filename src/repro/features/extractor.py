@@ -4,6 +4,12 @@ Combines the three feature groups of paper section III-B — structural,
 synthesis and dynamic — into a single per-flip-flop matrix, and assembles a
 labelled :class:`~repro.features.dataset.Dataset` when paired with a fault
 campaign's FDR results.
+
+Graph-derived quantities are computed once per netlist by the batched
+engine (:mod:`repro.features.vectorized`); pass ``engine="networkx"`` to
+run the original per-flip-flop traversal path instead (used as the
+differential reference in tests and benchmarks).  Both engines produce
+bit-identical matrices.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from .dynamic import DYNAMIC_FEATURES, extract_dynamic
 from .graph import CircuitGraph
 from .structural import STRUCTURAL_FEATURES, extract_structural
 from .synthesis import SYNTHESIS_FEATURES, extract_synthesis
+from .vectorized import CircuitStats, compute_circuit_stats
 
 __all__ = ["FeatureExtractor", "build_dataset", "ALL_FEATURES", "FEATURE_GROUPS"]
 
@@ -35,21 +42,31 @@ FEATURE_GROUPS: Dict[str, List[str]] = {
     "dynamic": list(DYNAMIC_FEATURES),
 }
 
+ENGINES = ("vectorized", "networkx")
+
 
 class FeatureExtractor:
     """Extracts the full paper feature set for every flip-flop of a netlist."""
 
-    def __init__(self, netlist: Netlist) -> None:
+    def __init__(self, netlist: Netlist, engine: str = "vectorized") -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
         self.netlist = netlist
-        self.graph = CircuitGraph(netlist)
+        self.engine = engine
+        self.stats: CircuitStats = (
+            compute_circuit_stats(netlist)
+            if engine == "vectorized"
+            else CircuitGraph(netlist).stats()
+        )
+        self.ff_names: List[str] = list(self.stats.ff_names)
 
     def extract(self, golden: GoldenTrace) -> Dict[str, Dict[str, float]]:
         """Per-flip-flop feature dictionaries (all groups merged)."""
-        structural = extract_structural(self.netlist, self.graph)
-        synthesis = extract_synthesis(self.netlist, self.graph)
+        structural = extract_structural(self.netlist, stats=self.stats)
+        synthesis = extract_synthesis(self.netlist, stats=self.stats)
         dynamic = extract_dynamic(golden)
         merged: Dict[str, Dict[str, float]] = {}
-        for name in self.graph.ff_names:
+        for name in self.ff_names:
             row: Dict[str, float] = {}
             row.update(structural[name])
             row.update(synthesis[name])
@@ -61,7 +78,7 @@ class FeatureExtractor:
         """Feature matrix in ``netlist.flip_flops()`` row order."""
         features = self.extract(golden)
         rows = [
-            [features[name][col] for col in ALL_FEATURES] for name in self.graph.ff_names
+            [features[name][col] for col in ALL_FEATURES] for name in self.ff_names
         ]
         return np.array(rows, dtype=np.float64)
 
@@ -71,15 +88,16 @@ def build_dataset(
     golden: GoldenTrace,
     campaign: CampaignResult,
     meta: Optional[Dict[str, object]] = None,
+    engine: str = "vectorized",
 ) -> Dataset:
     """Assemble the labelled dataset from features and campaign FDR results.
 
     Rows are restricted to flip-flops present in the campaign (a training
     subset campaign yields a training subset dataset).
     """
-    extractor = FeatureExtractor(netlist)
+    extractor = FeatureExtractor(netlist, engine=engine)
     features = extractor.extract(golden)
-    ff_names = [name for name in extractor.graph.ff_names if name in campaign.results]
+    ff_names = [name for name in extractor.ff_names if name in campaign.results]
     X = np.array(
         [[features[name][col] for col in ALL_FEATURES] for name in ff_names],
         dtype=np.float64,
@@ -89,6 +107,7 @@ def build_dataset(
         "circuit": netlist.name,
         "n_injections": campaign.n_injections,
         "campaign_seed": campaign.seed,
+        "features_engine": engine,
     }
     if meta:
         dataset_meta.update(meta)

@@ -14,6 +14,12 @@ used to extract the features".  :class:`CircuitGraph` provides that layer:
   and feedback loops are computed on it.
 
 The clock network is excluded throughout, as in the paper.
+
+Since the vectorized extractor (:mod:`repro.features.vectorized`) became the
+default engine, this per-flip-flop traversal path serves as the independent
+differential reference: :meth:`CircuitGraph.stats` produces the same
+:class:`~repro.features.vectorized.CircuitStats` container, and the test
+suite asserts both engines agree exactly on every library circuit.
 """
 
 from __future__ import annotations
@@ -257,6 +263,62 @@ class CircuitGraph:
                         next_frontier.append(succ)
             frontier = next_frontier
         return -1
+
+    # ---------------------------------------------------------------- SCC
+
+    def self_reachable(self) -> Dict[str, bool]:
+        """Per flip-flop: does it lie on a flip-flop-level cycle?
+
+        True when the flip-flop's SCC has more than one member or it carries
+        an explicit self-loop edge.
+        """
+        ff_graph = self.ff_only_graph()
+        condensed = nx.condensation(ff_graph)
+        result: Dict[str, bool] = {}
+        for node in condensed.nodes:
+            group = condensed.nodes[node]["members"]
+            if len(group) > 1:
+                for ff in group:
+                    result[ff] = True
+            else:
+                (ff,) = group
+                result[ff] = ff_graph.has_edge(ff, ff)
+        return result
+
+    # ------------------------------------------------- stats (differential)
+
+    def stats(self) -> "CircuitStats":
+        """The full per-flip-flop quantity set, via the traversal engine.
+
+        Produces the same :class:`~repro.features.vectorized.CircuitStats`
+        the vectorized engine computes — the differential-test contract is
+        that both containers are equal on any netlist.
+        """
+        from .vectorized import CircuitStats
+
+        total_from, total_to = self.transitive_counts()
+        pi_dist = self.pi_stage_distances()
+        po_dist = self.po_stage_distances()
+        reachable = self.self_reachable()
+        return CircuitStats(
+            ff_names=list(self.ff_names),
+            ff_fan_in=[len(self.input_cones[n].ff_sources) for n in self.ff_names],
+            ff_fan_out=[len(self.output_cones[n].ff_sinks) for n in self.ff_names],
+            total_from=[total_from[n] for n in self.ff_names],
+            total_to=[total_to[n] for n in self.ff_names],
+            conn_from_pi=[len(self.input_cones[n].primary_inputs) for n in self.ff_names],
+            conn_to_po=[len(self.output_cones[n].primary_outputs) for n in self.ff_names],
+            pi_distances=[pi_dist[n] for n in self.ff_names],
+            po_distances=[po_dist[n] for n in self.ff_names],
+            const_drivers=[self.input_cones[n].const_drivers for n in self.ff_names],
+            feedback_depth=[
+                self.feedback_depth(n, reachable[n]) for n in self.ff_names
+            ],
+            drive_strength=[self.netlist.cells[n].drive for n in self.ff_names],
+            comb_fan_in=[len(self.input_cones[n].comb_cells) for n in self.ff_names],
+            comb_fan_out=[len(self.output_cones[n].comb_cells) for n in self.ff_names],
+            comb_path_depth=[self.comb_depth_from(n) for n in self.ff_names],
+        )
 
     # ------------------------------------------------------------- depths
 

@@ -1,23 +1,29 @@
 """Structural per-flip-flop features (paper section III-B, first group).
 
-All fifteen structural quantities the paper defines, extracted from the
-:class:`~repro.features.graph.CircuitGraph`:
-
-fan-in/fan-out, transitive flip-flop counts, primary-I/O connection counts,
-min/avg/max stage proximities to primary inputs and outputs, bus membership
+All fifteen structural quantities the paper defines: fan-in/fan-out,
+transitive flip-flop counts, primary-I/O connection counts, min/avg/max
+stage proximities to primary inputs and outputs, bus membership
 (position/length, recovered from the ``name[index]`` bit-naming convention
 of the synthesized netlist), constant-driver connections, and feedback-loop
 presence/depth.
+
+The graph quantities come from a :class:`~repro.features.vectorized.CircuitStats`
+container — computed by the batched engine
+(:func:`~repro.features.vectorized.compute_circuit_stats`, the default) or
+by the networkx traversal reference
+(:meth:`~repro.features.graph.CircuitGraph.stats`); both yield identical
+feature values.
 """
 
 from __future__ import annotations
 
 import re
 from collections import defaultdict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.core import Netlist
 from .graph import CircuitGraph
+from .vectorized import CircuitStats, compute_circuit_stats
 
 __all__ = ["STRUCTURAL_FEATURES", "bus_membership", "extract_structural"]
 
@@ -81,30 +87,41 @@ def _stats(values: Sequence[int]) -> Tuple[float, float, float]:
     return (float(min(values)), sum(values) / len(values), float(max(values)))
 
 
-def extract_structural(netlist: Netlist, graph: CircuitGraph | None = None) -> Dict[str, Dict[str, float]]:
+def resolve_stats(
+    netlist: Netlist,
+    graph: Optional[CircuitGraph] = None,
+    stats: Optional[CircuitStats] = None,
+) -> CircuitStats:
+    """Pick the quantity provider: explicit stats > traversal graph > batched."""
+    if stats is not None:
+        return stats
+    if graph is not None:
+        return graph.stats()
+    return compute_circuit_stats(netlist)
+
+
+def extract_structural(
+    netlist: Netlist,
+    graph: Optional[CircuitGraph] = None,
+    stats: Optional[CircuitStats] = None,
+) -> Dict[str, Dict[str, float]]:
     """Structural feature dict per flip-flop name."""
-    graph = graph if graph is not None else CircuitGraph(netlist)
-    total_from, total_to = graph.transitive_counts()
-    pi_dist = graph.pi_stage_distances()
-    po_dist = graph.po_stage_distances()
-    buses = bus_membership(graph.ff_names)
+    stats = resolve_stats(netlist, graph, stats)
+    buses = bus_membership(stats.ff_names)
 
     features: Dict[str, Dict[str, float]] = {}
-    for name in graph.ff_names:
-        in_cone = graph.input_cones[name]
-        out_cone = graph.output_cones[name]
-        pi_min, pi_avg, pi_max = _stats(pi_dist[name])
-        po_min, po_avg, po_max = _stats(po_dist[name])
-        on_cycle = total_to[name] > 0 and name in _descendant_cache(graph)[name]
-        loop_depth = graph.feedback_depth(name, on_cycle)
+    for i, name in enumerate(stats.ff_names):
+        pi_min, pi_avg, pi_max = _stats(stats.pi_distances[i])
+        po_min, po_avg, po_max = _stats(stats.po_distances[i])
+        loop_depth = stats.feedback_depth[i]
         part, position, length = buses[name]
         features[name] = {
-            "ff_fan_in": float(len(in_cone.ff_sources)),
-            "ff_fan_out": float(len(out_cone.ff_sinks)),
-            "total_ffs_from": float(total_from[name]),
-            "total_ffs_to": float(total_to[name]),
-            "conn_from_primary_input": float(len(in_cone.primary_inputs)),
-            "conn_to_primary_output": float(len(out_cone.primary_outputs)),
+            "ff_fan_in": float(stats.ff_fan_in[i]),
+            "ff_fan_out": float(stats.ff_fan_out[i]),
+            "total_ffs_from": float(stats.total_from[i]),
+            "total_ffs_to": float(stats.total_to[i]),
+            "conn_from_primary_input": float(stats.conn_from_pi[i]),
+            "conn_to_primary_output": float(stats.conn_to_po[i]),
             "proximity_from_pi_min": pi_min,
             "proximity_from_pi_avg": pi_avg,
             "proximity_from_pi_max": pi_max,
@@ -114,36 +131,8 @@ def extract_structural(netlist: Netlist, graph: CircuitGraph | None = None) -> D
             "part_of_bus": float(part),
             "bus_position": float(position),
             "bus_length": float(length),
-            "conn_to_const_drivers": float(in_cone.const_drivers),
+            "conn_to_const_drivers": float(stats.const_drivers[i]),
             "has_feedback_loop": 1.0 if loop_depth > 0 else 0.0,
             "feedback_loop_depth": float(loop_depth),
         }
     return features
-
-
-_DESC_CACHE: Dict[int, Dict[str, set]] = {}
-
-
-def _descendant_cache(graph: CircuitGraph) -> Dict[str, set]:
-    """Per-FF self-reachability helper (ff in its own descendant set)."""
-    key = id(graph)
-    cached = _DESC_CACHE.get(key)
-    if cached is not None:
-        return cached
-    import networkx as nx
-
-    ff_graph = graph.ff_only_graph()
-    condensed = nx.condensation(ff_graph)
-    members = {n: set(condensed.nodes[n]["members"]) for n in condensed.nodes}
-    result: Dict[str, set] = {}
-    for node in condensed.nodes:
-        group = members[node]
-        if len(group) > 1:
-            for ff in group:
-                result[ff] = {ff}
-        else:
-            (ff,) = group
-            result[ff] = {ff} if ff_graph.has_edge(ff, ff) else set()
-    _DESC_CACHE.clear()
-    _DESC_CACHE[key] = result
-    return result

@@ -10,14 +10,19 @@ attributes in the mapped netlist:
 * **combinational fan-out** — combinational cells driven by the output up
   to the next stage,
 * **combinational path depth** at the flip-flop's output.
+
+Like the structural group, the quantities are served from a
+:class:`~repro.features.vectorized.CircuitStats` container (batched engine
+by default, networkx traversal as the differential reference).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..netlist.core import Netlist
 from .graph import CircuitGraph
+from .vectorized import CircuitStats
 
 __all__ = ["SYNTHESIS_FEATURES", "extract_synthesis"]
 
@@ -29,16 +34,21 @@ SYNTHESIS_FEATURES: Tuple[str, ...] = (
 )
 
 
-def extract_synthesis(netlist: Netlist, graph: CircuitGraph | None = None) -> Dict[str, Dict[str, float]]:
+def extract_synthesis(
+    netlist: Netlist,
+    graph: Optional[CircuitGraph] = None,
+    stats: Optional[CircuitStats] = None,
+) -> Dict[str, Dict[str, float]]:
     """Synthesis feature dict per flip-flop name."""
-    graph = graph if graph is not None else CircuitGraph(netlist)
+    from .structural import resolve_stats
+
+    stats = resolve_stats(netlist, graph, stats)
     features: Dict[str, Dict[str, float]] = {}
-    for name in graph.ff_names:
-        cell = netlist.cells[name]
+    for i, name in enumerate(stats.ff_names):
         features[name] = {
-            "drive_strength": float(cell.drive),
-            "comb_fan_in": float(len(graph.input_cones[name].comb_cells)),
-            "comb_fan_out": float(len(graph.output_cones[name].comb_cells)),
-            "comb_path_depth": float(graph.comb_depth_from(name)),
+            "drive_strength": float(stats.drive_strength[i]),
+            "comb_fan_in": float(stats.comb_fan_in[i]),
+            "comb_fan_out": float(stats.comb_fan_out[i]),
+            "comb_path_depth": float(stats.comb_path_depth[i]),
         }
     return features

@@ -20,9 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.workloads import XgMacWorkload
+from ..circuits.workloads import Workload
 from ..faultinjection.campaign import CampaignResult, StatisticalFaultCampaign
-from ..faultinjection.classify import PacketInterfaceCriterion
+from ..faultinjection.classify import (
+    AnyOutputCriterion,
+    FailureCriterion,
+    PacketInterfaceCriterion,
+)
 from ..features.dataset import Dataset
 from ..features.extractor import build_dataset
 from ..ml.base import BaseEstimator, clone
@@ -57,20 +61,31 @@ class FlowReport:
 
 def run_reference_flow(
     netlist: Netlist,
-    workload: XgMacWorkload,
+    workload: Workload,
     model: BaseEstimator,
     n_injections: int = 170,
     train_size: float = 0.5,
     campaign_seed: int = 0,
     split_seed: int = 0,
+    criterion: Optional[FailureCriterion] = None,
 ) -> FlowReport:
     """The paper's full methodology on one circuit/workload/model.
 
     Runs the flat campaign over *all* flip-flops so that the model can be
     validated against reference FDR values, then trains on a *train_size*
     fraction and evaluates on the remainder.
+
+    Without an explicit *criterion*, streaming workloads (non-empty
+    ``valid_nets``) get the paper's packet criterion; plain workloads (the
+    generic burst testbenches, whose strobe list is empty and would mask
+    every failure under the packet rules) are judged on their observed
+    output nets instead.
     """
-    criterion = PacketInterfaceCriterion(workload.valid_nets, workload.data_nets)
+    if criterion is None:
+        if workload.valid_nets:
+            criterion = PacketInterfaceCriterion(workload.valid_nets, workload.data_nets)
+        else:
+            criterion = AnyOutputCriterion(nets=list(workload.data_nets))
     campaign_runner = StatisticalFaultCampaign(
         netlist, workload.testbench, criterion, active_window=workload.active_window
     )

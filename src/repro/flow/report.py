@@ -8,9 +8,12 @@ economics — the quickest way to eyeball a fresh reproduction run.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..faultinjection.campaign import CampaignResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..experiments.transfer import TransferResult
 from ..experiments.common import PAPER_TABLE1
 from ..experiments.figures import FIGURE_MODELS, run_figure
 from ..experiments.future_work import run_future_work
@@ -34,12 +37,15 @@ def generate_report(
     seed: int = 0,
     include_future_work: bool = True,
     campaign: Optional[CampaignResult] = None,
+    transfer: Optional["TransferResult"] = None,
 ) -> str:
     """Run Table I + Figs. 2-4 (+ future work) and render markdown.
 
     Pass the generating :class:`CampaignResult` to extend the campaign
     economics section with the engine's actual cost counters (forward runs,
-    bit-parallel lane amortization, wall time).
+    bit-parallel lane amortization, wall time); pass a
+    :class:`~repro.experiments.transfer.TransferResult` to append the
+    cross-circuit transfer matrix.
     """
     curve_sizes = curve_sizes or [0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
     lines: List[str] = []
@@ -118,6 +124,26 @@ def generate_report(
             f"Full flat campaign: {n_ffs} x {n_inj} = {n_ffs * n_inj} injections. "
             f"Training at 50 % saves {n_ffs * n_inj // 2} injections (2x); "
             f"training at 20 % saves {int(n_ffs * n_inj * 0.8)} (5x)."
+        )
+        lines.append("")
+    if transfer is not None:
+        lines.append("## Cross-circuit transfer")
+        lines.append("")
+        lines.append(
+            f"Model: {transfer.model_name}; test R² per (train circuit, "
+            "test circuit) pair — diagonal cells use the in-circuit 50 % "
+            "split protocol."
+        )
+        lines.append("")
+        lines.append("| train \\ test | " + " | ".join(transfer.circuits) + " |")
+        lines.append("|" + "---|" * (len(transfer.circuits) + 1))
+        for a in transfer.circuits:
+            cells = " | ".join(f"{transfer.r2[a][b]:.3f}" for b in transfer.circuits)
+            lines.append(f"| {a} | {cells} |")
+        lines.append("")
+        lines.append(
+            f"Mean off-diagonal R²: **{transfer.mean_transfer_r2():.3f}** "
+            f"over {len(transfer.circuits)} circuits."
         )
         lines.append("")
     if campaign is not None:

@@ -35,7 +35,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core import Netlist
 
-__all__ = ["Partition", "LevelizedDesign", "levelize", "ff_spread_masks"]
+__all__ = [
+    "Partition",
+    "LevelizedDesign",
+    "levelize",
+    "ff_spread_masks",
+    "source_masks",
+    "sink_masks",
+]
 
 #: Default partition size.  Small partitions gate more precisely but cost one
 #: extra dispatch per partition per cycle; ~100 cells keeps dispatch below a
@@ -109,6 +116,42 @@ class LevelizedDesign:
         return self.partitions[part].closure_mask
 
 
+def source_masks(netlist: Netlist) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Transitive *source* masks per net: ``(net_ff_mask, net_input_mask)``.
+
+    Bit *i* of ``net_ff_mask[n]`` is set when flip-flop *i*
+    (``netlist.flip_flops()`` order) can influence net *n* through
+    combinational logic only; ``net_input_mask`` likewise over
+    ``netlist.inputs``.  Seeded at the sequential/input roots and propagated
+    in topological order — any topological order is valid, so this is the
+    partition-free core that both :func:`levelize` and the vectorized
+    feature extractor build on.
+    """
+    ff_index = {ff.name: i for i, ff in enumerate(netlist.flip_flops())}
+    input_index = {name: i for i, name in enumerate(netlist.inputs)}
+
+    net_ff_mask: Dict[str, int] = {}
+    net_input_mask: Dict[str, int] = {}
+    for name, net in netlist.nets.items():
+        if net.is_input:
+            net_input_mask[name] = 1 << input_index[name]
+        if net.driver is not None:
+            cell = netlist.cells[net.driver.cell]
+            if cell.is_sequential:
+                net_ff_mask[name] = 1 << ff_index[cell.name]
+
+    for cell_name in netlist.topological_comb_order():
+        cell = netlist.cells[cell_name]
+        fm = im = 0
+        for in_net in cell.input_nets():
+            fm |= net_ff_mask.get(in_net, 0)
+            im |= net_input_mask.get(in_net, 0)
+        out = cell.output_net()
+        net_ff_mask[out] = fm
+        net_input_mask[out] = im
+    return net_ff_mask, net_input_mask
+
+
 def levelize(
     netlist: Netlist, target_cells: int = DEFAULT_TARGET_CELLS
 ) -> LevelizedDesign:
@@ -123,33 +166,11 @@ def levelize(
     order = netlist.topological_comb_order()
     depth = netlist.logic_depth()
 
-    ff_index = {ff.name: i for i, ff in enumerate(netlist.flip_flops())}
-    input_index = {name: i for i, name in enumerate(netlist.inputs)}
-
-    # Transitive source masks per net, seeded at the sequential/input roots.
-    net_ff_mask: Dict[str, int] = {}
-    net_input_mask: Dict[str, int] = {}
-    for name, net in netlist.nets.items():
-        if net.is_input:
-            net_input_mask[name] = 1 << input_index[name]
-        if net.driver is not None:
-            cell = netlist.cells[net.driver.cell]
-            if cell.is_sequential:
-                net_ff_mask[name] = 1 << ff_index[cell.name]
+    net_ff_mask, net_input_mask = source_masks(netlist)
 
     # Stable level-major order: sort the topological order by level.
     position = {name: i for i, name in enumerate(order)}
     levelized = sorted(order, key=lambda c: (depth[netlist.cells[c].output_net()], position[c]))
-
-    for cell_name in levelized:
-        cell = netlist.cells[cell_name]
-        fm = im = 0
-        for in_net in cell.input_nets():
-            fm |= net_ff_mask.get(in_net, 0)
-            im |= net_input_mask.get(in_net, 0)
-        out = cell.output_net()
-        net_ff_mask[out] = fm
-        net_input_mask[out] = im
 
     # Chunk into partitions and resolve producer partitions per net.
     chunks: List[List[str]] = [
@@ -197,6 +218,51 @@ def levelize(
         net_ff_mask=net_ff_mask,
         net_input_mask=net_input_mask,
     )
+
+
+def sink_masks(netlist: Netlist) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Transitive *sink* masks per net: ``(net_ff_sink_mask, net_output_mask)``.
+
+    The mirror image of the source masks :func:`levelize` computes: bit *i*
+    of ``net_ff_sink_mask[n]`` is set when net *n* can influence the data
+    input (D/RN — clock pins excluded) of flip-flop *i* through combinational
+    logic only; ``net_output_mask`` likewise over ``netlist.outputs``.  These
+    are the building blocks of the vectorized feature extractor: a
+    combinational cell lies in flip-flop *i*'s input cone exactly when bit
+    *i* is set in the sink mask of the cell's output net.
+    """
+    ff_index = {ff.name: i for i, ff in enumerate(netlist.flip_flops())}
+    out_index = {name: i for i, name in enumerate(netlist.outputs)}
+    cell_out = {name: cell.output_net() for name, cell in netlist.cells.items()}
+    ff_sink: Dict[str, int] = {}
+    out_mask: Dict[str, int] = {}
+
+    def finalize(net_name: str) -> None:
+        net = netlist.nets[net_name]
+        fm = 0
+        om = 1 << out_index[net_name] if net.is_output else 0
+        for sink in net.sinks:
+            cell = netlist.cells[sink.cell]
+            if cell.is_sequential:
+                if sink.pin != "CK":
+                    fm |= 1 << ff_index[cell.name]
+            else:
+                sink_out = cell_out[sink.cell]
+                fm |= ff_sink.get(sink_out, 0)
+                om |= out_mask.get(sink_out, 0)
+        ff_sink[net_name] = fm
+        out_mask[net_name] = om
+
+    # Combinational outputs in reverse topological order: every comb sink's
+    # own output mask is final before its input nets are visited.
+    for cell_name in reversed(netlist.topological_comb_order()):
+        finalize(cell_out[cell_name])
+    # Source nets (flip-flop outputs, primary inputs) only read finalized
+    # comb masks, so any order works.
+    for net_name in netlist.nets:
+        if net_name not in ff_sink:
+            finalize(net_name)
+    return ff_sink, out_mask
 
 
 def ff_spread_masks(netlist: Netlist, design: Optional[LevelizedDesign] = None) -> List[int]:

@@ -37,7 +37,23 @@ class ActivityTrace:
 
     @classmethod
     def from_golden(cls, trace: GoldenTrace) -> "ActivityTrace":
-        """Derive activity statistics from a recorded golden trajectory."""
+        """Derive activity statistics from a recorded golden trajectory.
+
+        The result is cached on the trace object: dynamic-feature extraction
+        and dataset assembly may ask for the same statistics several times,
+        and the bit-sweep over the packed state vectors is the expensive
+        part.  Golden traces are immutable once recorded, so the cache can
+        never go stale.
+        """
+        cached = getattr(trace, "_activity_cache", None)
+        if cached is not None:
+            return cached
+        activity = cls._compute(trace)
+        trace._activity_cache = activity  # type: ignore[attr-defined]
+        return activity
+
+    @classmethod
+    def _compute(cls, trace: GoldenTrace) -> "ActivityTrace":
         ones = trace.ff_ones_counts()
         toggles = trace.ff_toggle_counts()
         n = max(trace.n_cycles, 1)

@@ -285,3 +285,162 @@ def test_circuit_registry():
     nl.validate()
     with pytest.raises(KeyError):
         get_circuit("nonexistent")
+
+
+# ------------------------------------------- stand-alone library circuits
+
+
+def test_make_fifo_stores_and_reads():
+    """Write three values through the primary ports, read them back FWFT."""
+    nl = get_circuit("fifo4x4")
+    nl.validate()
+    sim = CompiledSimulator(nl, n_lanes=1)
+    sim.reset()
+    idx = {name: name for name in nl.inputs}
+
+    def step(wr_en=0, wr=0, rd_en=0):
+        sim.set_input("wr_en", wr_en)
+        sim.set_input("rd_en", rd_en)
+        for b in range(4):
+            sim.set_input(f"wr_data[{b}]", (wr >> b) & 1)
+        sim.eval_comb()
+        out = {name: sim.get_bit(name) for name in nl.outputs}
+        sim.tick()
+        return out
+
+    sim.set_input("rst_n", 0)
+    step()
+    sim.set_input("rst_n", 1)
+    out = step()
+    assert out["empty"] == 1 and out["full"] == 0
+    for value in (0x5, 0xA, 0x3):
+        step(wr_en=1, wr=value)
+    reads = []
+    for _ in range(3):
+        out = step(rd_en=1)
+        reads.append(sum(out[f"rd_data[{b}]"] << b for b in range(4)))
+        assert out["rd_val"] == 1
+    assert reads == [0x5, 0xA, 0x3]
+    assert step()["empty"] == 1
+
+
+def test_make_crc32_matches_golden_model():
+    """The synthesized engine tracks the integer model byte for byte."""
+    nl = get_circuit("crc32")
+    nl.validate()
+    sim = CompiledSimulator(nl, n_lanes=1)
+    sim.reset()
+    sim.set_input("rst_n", 0)
+    sim.eval_comb()
+    sim.tick()
+    sim.set_input("rst_n", 1)
+    data = [0xDE, 0xAD, 0xBE, 0xEF]
+    for byte in data:
+        sim.set_input("en", 1)
+        sim.set_input("clear", 0)
+        for b in range(8):
+            sim.set_input(f"data[{b}]", (byte >> b) & 1)
+        sim.eval_comb()
+        sim.tick()
+    sim.set_input("en", 0)
+    sim.eval_comb()
+    expected = crc32_bytes(data)
+    got_low = sum(sim.get_bit(f"crc_low[{b}]") << b for b in range(8))
+    assert got_low == expected & 0xFF
+    assert sim.get_bit("crc_zero") == (1 if expected == 0 else 0)
+
+
+def test_make_fsm_controller_run_cycle():
+    """IDLE -> RUN on start; timer counts; DONE at terminal; ack returns."""
+    nl = get_circuit("fsm_ctrl")
+    nl.validate()
+    sim = CompiledSimulator(nl, n_lanes=1)
+    sim.reset()
+    sim.set_input("rst_n", 0)
+    sim.eval_comb()
+    sim.tick()
+    sim.set_input("rst_n", 1)
+
+    def step(start=0, stop=0, ack=0):
+        sim.set_input("start", start)
+        sim.set_input("stop", stop)
+        sim.set_input("ack", ack)
+        sim.eval_comb()
+        out = {name: sim.get_bit(name) for name in nl.outputs}
+        sim.tick()
+        return out
+
+    assert step()["busy"] == 0
+    step(start=1)
+    out = step()
+    assert out["busy"] == 1 and out["done"] == 0
+    for _ in range(20):  # 4-bit timer: terminal count within 16 RUN cycles
+        out = step()
+        if out["done"]:
+            break
+    assert out["done"] == 1 and out["busy"] == 0
+    assert step(ack=1)["done"] == 1  # Moore output holds until ack registers
+    assert step()["busy"] == 0 and step()["done"] == 0
+
+
+# ----------------------------------------------------- workload registry
+
+
+def test_burst_workload_is_deterministic():
+    from repro.circuits import build_burst_workload
+
+    nl = get_circuit("counter8")
+    a = build_burst_workload(nl, n_frames=3, min_len=2, max_len=4, gap=6, seed=11)
+    b = build_burst_workload(nl, n_frames=3, min_len=2, max_len=4, gap=6, seed=11)
+    assert a.testbench.schedule == b.testbench.schedule
+    assert a.active_window == b.active_window
+    c = build_burst_workload(nl, n_frames=3, min_len=2, max_len=4, gap=6, seed=12)
+    assert c.testbench.schedule != a.testbench.schedule
+
+
+def test_burst_workload_bias_shapes_stimulus():
+    from repro.circuits import build_burst_workload
+
+    nl = get_circuit("counter8")
+    clear_idx = nl.inputs.index("clear")
+    dense = build_burst_workload(nl, n_frames=6, min_len=4, max_len=6, gap=4, seed=3)
+    sparse = build_burst_workload(
+        nl, n_frames=6, min_len=4, max_len=6, gap=4, seed=3, bias={"clear": 0.02}
+    )
+    count = lambda wl: sum((v >> clear_idx) & 1 for v in wl.testbench.schedule)
+    assert count(sparse) < count(dense)
+
+
+def test_workload_registry_resolution():
+    from repro.circuits import build_workload_for, default_criterion
+
+    assert default_criterion("xgmac_mini") == "packet"
+    assert default_criterion("counter16") == "observed"
+    assert default_criterion("fifo8x4") == "any_output"
+    assert default_criterion("unknown_circuit") == "any_output"
+    nl = get_circuit("shiftreg8")
+    wl = build_workload_for("shiftreg8", nl, n_frames=2, min_len=2, max_len=3, gap=4, seed=1)
+    assert wl.data_nets == ["dout"]
+
+
+def test_make_burst_builder_validates_observed_nets():
+    from repro.circuits import make_burst_builder
+
+    nl = get_circuit("counter8")
+    builder = make_burst_builder(["no_such_output"])
+    with pytest.raises(ValueError):
+        builder(nl, n_frames=1, min_len=1, max_len=2, gap=2, seed=1)
+
+
+def test_register_workload_prefix_and_exact():
+    from repro.circuits import build_burst_workload, default_criterion, register_workload
+    from repro.circuits.workloads import _WORKLOADS_EXACT, _WORKLOADS_PREFIX
+
+    register_workload("zz_test_family", build_burst_workload, criterion="any_output", prefix=True)
+    register_workload("zz_test_family_special", build_burst_workload, criterion="observed")
+    try:
+        assert default_criterion("zz_test_family_widget") == "any_output"
+        assert default_criterion("zz_test_family_special") == "observed"
+    finally:
+        _WORKLOADS_PREFIX.pop("zz_test_family", None)
+        _WORKLOADS_EXACT.pop("zz_test_family_special", None)

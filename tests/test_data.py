@@ -1,8 +1,19 @@
 """Dataset generation and caching tests."""
 
+import json
+
+import numpy as np
 import pytest
 
-from repro.data import DATASET_PRESETS, DatasetSpec, build_workload, get_dataset
+from repro.circuits import LIBRARY_CIRCUITS
+from repro.data import (
+    DATASET_PRESETS,
+    DATASET_SCHEMA_VERSION,
+    DatasetSpec,
+    build_workload,
+    get_dataset,
+)
+from repro.features.dataset import Dataset
 
 
 def test_presets_defined():
@@ -58,3 +69,83 @@ def test_cached_tiny_dataset_labels(cached_tiny_dataset):
     assert ds.meta["n_injections"] == DATASET_PRESETS["tiny"].n_injections
     assert 0.0 < float(ds.y.mean()) < 0.5
     assert ds.n_samples > 200
+
+
+def test_dataset_meta_records_provenance(cached_tiny_dataset):
+    """Labels carry their full generation lineage for reproducibility."""
+    meta = cached_tiny_dataset.meta
+    assert meta["schema_version"] == DATASET_SCHEMA_VERSION
+    assert meta["backend"] == "compiled"
+    assert meta["scheduler"] == "adaptive"
+    assert meta["schedule"] == "legacy"
+    assert meta["criterion"] == "packet"
+    assert isinstance(meta["campaign_key"], str) and len(meta["campaign_key"]) == 16
+    assert meta["spec"]["circuit"] == "xgmac_tiny"
+    import repro
+
+    assert meta["code_version"] == repro.__version__
+
+
+def test_stale_schema_cache_regenerates(tmp_path):
+    """A cache written by an older schema self-invalidates on load."""
+    spec = DatasetSpec(
+        circuit="counter8", n_frames=2, min_len=2, max_len=3, gap=6, n_injections=4
+    )
+    first = get_dataset(spec=spec, cache_dir=tmp_path)
+    cache_file = next(tmp_path.glob("dataset_counter8_*.json"))
+    payload = json.loads(cache_file.read_text())
+    payload["meta"]["schema_version"] = DATASET_SCHEMA_VERSION - 1
+    payload["y"] = [0.123] * len(payload["y"])  # poison: must not be served
+    cache_file.write_text(json.dumps(payload))
+    second = get_dataset(spec=spec, cache_dir=tmp_path)
+    assert (second.y == first.y).all()
+    # The cache file was rewritten with the current schema.
+    refreshed = json.loads(cache_file.read_text())
+    assert refreshed["meta"]["schema_version"] == DATASET_SCHEMA_VERSION
+
+
+def test_corrupt_cache_regenerates(tmp_path):
+    spec = DatasetSpec(
+        circuit="counter8", n_frames=2, min_len=2, max_len=3, gap=6, n_injections=4
+    )
+    first = get_dataset(spec=spec, cache_dir=tmp_path)
+    cache_file = next(tmp_path.glob("dataset_counter8_*.json"))
+    cache_file.write_text("{ truncated")
+    second = get_dataset(spec=spec, cache_dir=tmp_path)
+    assert (second.y == first.y).all()
+
+
+# ------------------------------------------------- circuit-generic datasets
+
+
+@pytest.mark.parametrize("circuit", LIBRARY_CIRCUITS)
+def test_library_circuit_dataset_generates_and_round_trips(circuit, tmp_path):
+    """Every library circuit: generate, cache, CSV/JSON round-trip."""
+    spec = DatasetSpec(
+        circuit=circuit, n_frames=2, min_len=2, max_len=3, gap=6, n_injections=4
+    )
+    ds = get_dataset(spec=spec, cache_dir=tmp_path)
+    assert ds.n_samples > 0
+    assert ds.meta["circuit"].startswith(circuit.rstrip("0123456789x"))
+    assert set(ds.groups) == {"structural", "synthesis", "dynamic"}
+    assert np.all((ds.y >= 0) & (ds.y <= 1))
+    # Cache hit returns the same content.
+    again = get_dataset(spec=spec, cache_dir=tmp_path)
+    assert (again.X == ds.X).all() and again.ff_names == ds.ff_names
+    # JSON round-trip preserves groups and meta; CSV preserves the matrix.
+    restored = Dataset.from_json(ds.to_json())
+    assert restored.groups == ds.groups and restored.meta == ds.meta
+    from_csv = Dataset.from_csv(ds.to_csv())
+    assert np.allclose(from_csv.X, ds.X) and np.allclose(from_csv.y, ds.y)
+
+
+def test_library_circuit_dataset_trains_end_to_end(tmp_path):
+    """A library-circuit dataset drives the paper protocol end to end."""
+    from repro.data import circuit_preset
+    from repro.experiments import run_table1
+
+    ds = get_dataset(spec=circuit_preset("fifo8x4", "tiny"), cache_dir=tmp_path)
+    result = run_table1(ds, cv_folds=3, seed=0)
+    assert set(result.rows) == {"Linear Least Squares", "k-NN", "SVR w/ RBF Kernel"}
+    for metrics in result.rows.values():
+        assert np.isfinite(metrics["r2"])

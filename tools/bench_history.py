@@ -51,7 +51,9 @@ def git_commit() -> Optional[str]:
 
 
 def run_smoke() -> Dict:
-    """The fixed smoke benchmark: tiny campaign + one cycle-throughput probe."""
+    """The fixed smoke benchmark: tiny campaign, cycle-throughput and
+    feature-extraction probes."""
+    from bench_features import run_benchmark as run_feature_benchmark
     from bench_scheduler import run_campaign_row
     from bench_substrate import measure_cycle_throughput
     from common import preset_workload_parts
@@ -63,12 +65,16 @@ def run_smoke() -> Dict:
         row.pop("counters", None)
         rows.append(row)
     cycle_lps = measure_cycle_throughput(parts.netlist, "compiled", 256, n_cycles=12)
+    features = run_feature_benchmark("xgmac_tiny", repeats=1)
+    vec_row = next(r for r in features["rows"] if r["engine"] == "vectorized")
     return {
         "campaign_rows": rows,
         "cycle_lane_cycles_per_sec": round(cycle_lps),
         "adaptive_speedup": round(
             rows[1]["injections_per_sec"] / max(1, rows[0]["injections_per_sec"]), 2
         ),
+        "feature_ffs_per_sec": vec_row["ffs_per_sec"],
+        "feature_vectorized_speedup": features["vectorized_speedup"],
     }
 
 
@@ -114,7 +120,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"commit={record['commit']} batch={rows[0]['injections_per_sec']} inj/s "
         f"adaptive={rows[1]['injections_per_sec']} inj/s "
         f"({record['adaptive_speedup']}x), "
-        f"cycle={record['cycle_lane_cycles_per_sec']} lane-cycles/s"
+        f"cycle={record['cycle_lane_cycles_per_sec']} lane-cycles/s, "
+        f"features={record['feature_ffs_per_sec']} FF rows/s "
+        f"({record['feature_vectorized_speedup']}x vs networkx)"
     )
     print(f"appended to {args.out}")
     return 0
