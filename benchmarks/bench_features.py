@@ -29,7 +29,7 @@ from repro.circuits.workloads import build_workload_for
 from repro.features.extractor import ENGINES, FeatureExtractor
 from repro.sim.activity import ActivityTrace
 
-from common import write_json
+from common import add_result_args, emit_result
 
 
 def measure_engine(netlist, golden, engine: str, repeats: int = 3) -> Dict:
@@ -99,7 +99,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--circuit", default="xgmac")
     parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument("--out", default=None, help="write JSON results here")
+    add_result_args(parser)
     args = parser.parse_args(argv)
 
     payload = run_benchmark(args.circuit, repeats=args.repeats)
@@ -112,7 +112,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"vectorized speedup: {payload['vectorized_speedup']}x "
         f"(bit-identical: {payload['bit_identical']})"
     )
-    write_json(args.out, payload)
+    emit_result(args, "features", payload)
     return 0
 
 

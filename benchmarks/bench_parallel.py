@@ -29,7 +29,7 @@ from repro.sim import BACKEND_NAMES
 
 from common import campaign_spec as _spec_for_scale
 from common import result_counters as _result_key
-from common import write_json
+from common import add_result_args, emit_result
 
 
 def run_sweep(
@@ -105,7 +105,7 @@ def main(argv: List[str] | None = None) -> int:
         choices=list(BACKEND_NAMES),
         help="also sweep the serial campaign over these simulation backends",
     )
-    parser.add_argument("--out", default=None, help="write the sweep as JSON")
+    add_result_args(parser)
     args = parser.parse_args(argv)
 
     print(f"scale={args.scale} cpus={multiprocessing.cpu_count()}")
@@ -119,7 +119,7 @@ def main(argv: List[str] | None = None) -> int:
             f"{row['speedup']:>7.2f}x {row['forward_runs']:>9} "
             f"{row['lane_cycles_per_sec'] / 1e6:>9.2f}"
         )
-    write_json(args.out, {"scale": args.scale, "rows": rows})
+    emit_result(args, "parallel", {"scale": args.scale, "rows": rows})
     return 0
 
 

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.faultinjection import StatisticalFaultCampaign
 
-from common import preset_workload_parts, result_counters, write_json
+from common import add_result_args, emit_result, preset_workload_parts, result_counters
 
 #: The PR-3 configuration every row is normalized against.
 BASELINE = ("fused", "batch")
@@ -116,7 +116,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--injections", type=int, default=170, help="injections per flip-flop"
     )
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", default=None, help="write the sweep as JSON")
+    add_result_args(parser)
     args = parser.parse_args(argv)
 
     report = run_sweep(args.scale, args.injections, seed=args.seed)
@@ -131,7 +131,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{row['injections_per_sec']:>8} {row['forward_runs']:>6} "
             f"{row.get('speedup_vs_baseline', 1.0):>7.2f}x"
         )
-    write_json(args.out, report)
+    emit_result(args, "scheduler", report)
     return 0
 
 

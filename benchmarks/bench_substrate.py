@@ -35,7 +35,7 @@ from repro.faultinjection import FaultInjector, PacketInterfaceCriterion
 from repro.features import FeatureExtractor
 from repro.sim import BACKEND_NAMES, CompiledSimulator, create_backend
 
-from common import build_workload_parts, write_json
+from common import add_result_args, build_workload_parts, emit_result
 
 #: The seed repo ran every campaign on the compiled backend at this width;
 #: all speedups are reported relative to it.
@@ -149,7 +149,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--circuit", default="xgmac", help="seed circuit (default: the largest, xgmac)"
     )
     parser.add_argument("--cycles", type=int, default=20)
-    parser.add_argument("--out", default=None, help="write the sweep as JSON")
+    add_result_args(parser)
     args = parser.parse_args(argv)
 
     report = run_substrate_sweep(args.circuit, n_cycles=args.cycles)
@@ -173,7 +173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{row['backend']:>9} {'-':>7} "
             f"{row['lane_cycles_per_sec'] / 1e6:>8.2f} {row['speedup_vs_seed']:>7.2f}x"
         )
-    write_json(args.out, report)
+    emit_result(args, "substrate", report)
     return 0
 
 

@@ -19,7 +19,7 @@ from typing import Dict, List
 
 from repro.verify import FUZZ_SCALES, verify_seeds
 
-from common import write_json
+from common import add_result_args, emit_result
 
 
 def run_sweep(scale: str, n_seeds: int) -> Dict:
@@ -47,7 +47,7 @@ def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="mini", choices=sorted(FUZZ_SCALES))
     parser.add_argument("--seeds", type=int, default=20)
-    parser.add_argument("--out", default=None, help="write the result as JSON")
+    add_result_args(parser)
     args = parser.parse_args(argv)
 
     row = run_sweep(args.scale, args.seeds)
@@ -58,7 +58,7 @@ def main(argv: List[str] | None = None) -> int:
         f"in {row['wall_seconds']}s "
         f"({row['comparisons_per_second']:,}/s, {row['seeds_per_second']} seeds/s)"
     )
-    write_json(args.out, row)
+    emit_result(args, "verify", row)
     return 0
 
 

@@ -9,8 +9,12 @@ what they measure.
 
 from __future__ import annotations
 
+import datetime
 import json
+import platform
+import subprocess
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.campaigns import CampaignSpec
@@ -105,3 +109,101 @@ def write_json(path: Optional[str], payload: Dict) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)
     print(f"wrote {path}")
+
+
+# ---------------------------------------------------------------- trajectory
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+DEFAULT_TRAJECTORY = RESULTS_DIR / "trajectory.json"
+
+
+def git_commit() -> Optional[str]:
+    """Short commit hash of the measured tree, if git is available."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=RESULTS_DIR.parent.parent,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def add_result_args(parser) -> None:
+    """The uniform result-reporting flags every benchmark main exposes."""
+    parser.add_argument("--out", default=None, help="write the full report as JSON")
+    parser.add_argument(
+        "--trajectory",
+        nargs="?",
+        const=str(DEFAULT_TRAJECTORY),
+        default=None,
+        help="append a uniform record to this trajectory file "
+        f"(bare flag: {DEFAULT_TRAJECTORY.relative_to(RESULTS_DIR.parent.parent)})",
+    )
+    parser.add_argument(
+        "--label", default=None, help="free-form label stored with the record"
+    )
+
+
+def load_trajectory(path: Path) -> Dict:
+    """The trajectory document at *path* (a fresh one if absent/corrupt)."""
+    doc = {"version": 1, "records": []}
+    if Path(path).exists():
+        try:
+            loaded = json.loads(Path(path).read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("records"), list):
+                doc = loaded
+        except (OSError, ValueError):
+            pass  # corrupt trajectory: start fresh rather than fail CI
+    return doc
+
+
+def append_trajectory(
+    bench: str,
+    summary: Dict,
+    label: Optional[str] = None,
+    path: Optional[Path] = None,
+) -> Dict:
+    """Append one uniform record to the shared perf-trajectory document.
+
+    Every benchmark writes the same envelope — timestamp, commit, bench
+    name, label, platform — with its measurements nested under ``summary``,
+    so ``tools/bench_history.py --report-md`` can tabulate the whole history
+    without per-benchmark cases.
+    """
+    path = Path(path) if path is not None else DEFAULT_TRAJECTORY
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": git_commit(),
+        "bench": bench,
+        "label": label,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "summary": summary,
+    }
+    doc = load_trajectory(path)
+    doc["records"].append(record)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return record
+
+
+def emit_result(args, bench: str, payload: Dict, summary: Optional[Dict] = None) -> None:
+    """The shared tail of every benchmark ``main``: ``--out`` JSON dump plus
+    the optional ``--trajectory`` append (*summary* defaults to *payload*)."""
+    write_json(args.out, payload)
+    if args.trajectory is not None:
+        append_trajectory(
+            bench,
+            summary if summary is not None else payload,
+            label=args.label,
+            path=Path(args.trajectory),
+        )
+        print(f"appended {bench} record to {args.trajectory}")

@@ -31,6 +31,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 from ..faultinjection.campaign import CampaignResult, FlipFlopResult
 from ..faultinjection.injector import FaultInjector
 from ..faultinjection.scheduler import AdaptiveScheduler
+from ..obs import (
+    MetricsSnapshot,
+    ProgressThrottle,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
 from .partition import Bucket, legacy_buckets, partition_shards, stream_buckets
 from .spec import CampaignContext, CampaignSpec, build_context
 from .store import CampaignStore
@@ -127,9 +135,31 @@ class _ShardRunner:
         return cls(spec, build_context(spec))
 
     def run_shard(self, buckets: Sequence[Tuple[int, Sequence[str]]]) -> Dict:
-        """Simulate a shard's buckets; return mergeable counters."""
-        if self.scheduler is not None:
-            return self._run_shard_scheduled(buckets)
+        """Simulate a shard's buckets; return mergeable counters.
+
+        The payload also carries the shard's wall time (feeds the engine's
+        worker-utilization gauge) and, per backend, a lane-cycles/sec gauge
+        observation in the *current* telemetry registry — which is the
+        worker's own throwaway registry when running in a pool process, and
+        the engine's when running serially.
+        """
+        start = time.perf_counter()
+        payload = (
+            self._run_shard_scheduled(buckets)
+            if self.scheduler is not None
+            else self._run_shard_batches(buckets)
+        )
+        wall = time.perf_counter() - start
+        payload["wall_seconds"] = wall
+        registry = get_telemetry().registry
+        registry.timer("executor.shard_seconds").observe(wall)
+        if wall > 0:
+            registry.gauge(f"sim.{self.spec.backend}.lane_cycles_per_sec").set(
+                payload["total_lane_cycles"] / wall
+            )
+        return payload
+
+    def _run_shard_batches(self, buckets: Sequence[Tuple[int, Sequence[str]]]) -> Dict:
         spec = self.spec
         injector = self.injector
         ff: Dict[str, List[int]] = {}
@@ -187,12 +217,23 @@ _WORKER: Optional[_ShardRunner] = None
 
 def _worker_init(spec_payload: Dict) -> None:
     global _WORKER
+    # Forked workers inherit the parent's telemetry — including any open
+    # sink file handles — so replace it before building anything, or every
+    # worker's synthesize/golden spans would interleave into the parent's
+    # stream.
+    set_telemetry(Telemetry())
     _WORKER = _ShardRunner.from_spec(CampaignSpec.from_dict(spec_payload))
 
 
 def _worker_run_shard(shard: List[Tuple[int, Tuple[str, ...]]]) -> Dict:
     assert _WORKER is not None, "worker used before initialization"
-    return _WORKER.run_shard(shard)
+    # Fresh per-shard telemetry: the shard's metrics travel back inside the
+    # payload as a mergeable snapshot (the executor absorbs them), instead
+    # of accumulating invisibly in the worker process.
+    with use_telemetry(Telemetry()) as telemetry:
+        payload = _WORKER.run_shard(shard)
+        payload["metrics"] = telemetry.registry.snapshot().to_payload()
+    return payload
 
 
 def _mp_context():
@@ -219,7 +260,14 @@ class CampaignEngine:
         the caller needs the same netlist/golden trace for feature
         extraction.  Workers always rebuild their own from the spec.
     progress:
-        ``progress(done_shards, total_shards)`` callback.
+        ``progress(done_shards, total_shards)`` callback.  Throttled to at
+        most one call per *progress_interval* seconds (plus, always, the
+        final ``(total, total)`` call); the same throttle drives the
+        telemetry ``progress`` events the live sink renders.
+    progress_interval:
+        Minimum seconds between forwarded progress notifications
+        (default 0.1); ``0`` restores the historical call-per-shard
+        behavior.
     """
 
     def __init__(
@@ -230,6 +278,7 @@ class CampaignEngine:
         context: Optional[CampaignContext] = None,
         shards_per_job: int = SHARDS_PER_JOB,
         progress: Optional[Callable[[int, int], None]] = None,
+        progress_interval: float = 0.1,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -244,6 +293,8 @@ class CampaignEngine:
         self._run_start = time.monotonic()
         self.shards_per_job = max(1, shards_per_job)
         self.progress = progress
+        self.progress_interval = progress_interval
+        self._busy_seconds = 0.0
         self.last_report = EngineReport()
 
     def _validate_context(self, context: CampaignContext) -> None:
@@ -276,6 +327,19 @@ class CampaignEngine:
 
     def run(self, resume: bool = True) -> CampaignResult:
         """Execute (or load, or top up) the campaign described by the spec."""
+        spec = self.spec
+        with get_telemetry().tracer.span(
+            "campaign",
+            circuit=spec.circuit,
+            n_injections=spec.n_injections,
+            backend=spec.backend,
+            scheduler=spec.scheduler,
+            schedule=spec.schedule,
+            jobs=self.jobs,
+        ):
+            return self._run(resume)
+
+    def _run(self, resume: bool) -> CampaignResult:
         start_time = self._run_start = time.monotonic()
         spec = self.spec
         report = EngineReport(jobs=self.jobs)
@@ -295,6 +359,7 @@ class CampaignEngine:
             found = self.store.best_snapshot(spec)
             if found is not None:
                 base_n, base = found
+                get_telemetry().registry.counter("store.topups").inc()
         report.base_injections = base_n
 
         context = self.context
@@ -341,7 +406,20 @@ class CampaignEngine:
         if self.store is not None:
             self.store.save_snapshot(spec, result)
         report.wall_seconds = time.monotonic() - start_time
+        self._record_run_metrics(report)
         return result
+
+    def _record_run_metrics(self, report: EngineReport) -> None:
+        """End-of-run rollups: throughput and worker utilization."""
+        registry = get_telemetry().registry
+        if report.wall_seconds > 0 and report.executed_lanes:
+            registry.gauge("campaign.injections_per_sec").set(
+                report.executed_lanes / report.wall_seconds
+            )
+        if report.wall_seconds > 0 and self._busy_seconds > 0:
+            registry.gauge("campaign.worker_utilization").set(
+                min(1.0, self._busy_seconds / (self.jobs * report.wall_seconds))
+            )
 
     # ------------------------------------------------------------ execution
 
@@ -354,18 +432,53 @@ class CampaignEngine:
         report: EngineReport,
         base_n: int,
     ) -> None:
+        telemetry = get_telemetry()
+        registry = telemetry.registry
+        start = time.monotonic()
+
+        def notify(done_shards: int, total_shards: int) -> None:
+            elapsed = time.monotonic() - start
+            rate = report.executed_lanes / elapsed if elapsed > 0 else 0.0
+            if rate > 0:
+                registry.gauge("campaign.injections_per_sec").set(rate)
+            if telemetry.active:
+                remaining = total_shards - done_shards
+                telemetry.emit(
+                    {
+                        "event": "progress",
+                        "scope": "campaign",
+                        "unit": "shards",
+                        "done": done_shards,
+                        "total": total_shards,
+                        "injections": report.executed_lanes,
+                        "injections_per_sec": rate,
+                        "eta_seconds": (
+                            remaining * elapsed / done_shards if done_shards else None
+                        ),
+                    }
+                )
+            if self.progress is not None:
+                self.progress(done_shards, total_shards)
+
+        throttled = ProgressThrottle(notify, min_interval=self.progress_interval)
         done = 0
         for payload in shard_payloads:
             accum.merge_shard(payload)
             done_cycles.update(payload["done_cycles"])
             report.executed_buckets += len(payload["done_cycles"])
             report.executed_forward_runs += payload["n_forward_runs"]
-            report.executed_lanes += sum(rec[0] for rec in payload["ff"].values())
+            shard_lanes = sum(rec[0] for rec in payload["ff"].values())
+            report.executed_lanes += shard_lanes
+            self._busy_seconds += payload.get("wall_seconds", 0.0)
+            metrics = payload.get("metrics")
+            if metrics:  # worker shard: absorb its snapshot into our registry
+                registry.absorb(MetricsSnapshot.from_payload(metrics))
+            registry.counter("campaign.shard_merges").inc()
+            registry.counter("campaign.injections").inc(shard_lanes)
             done += 1
             if done < total:  # final state is persisted as a snapshot instead
                 self._checkpoint(base_n, done_cycles, accum)
-            if self.progress is not None:
-                self.progress(done, total)
+            throttled(done, total)
 
     def _run_serial(
         self,
@@ -458,9 +571,15 @@ def run_campaign(
     resume: bool = True,
     context: Optional[CampaignContext] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    progress_interval: float = 0.1,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
-        spec, jobs=jobs, cache_dir=cache_dir, context=context, progress=progress
+        spec,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        context=context,
+        progress=progress,
+        progress_interval=progress_interval,
     )
     return engine.run(resume=resume)

@@ -217,7 +217,14 @@ class CampaignContext:
 
     def ensure_golden(self) -> GoldenTrace:
         if self.golden is None:
-            self.golden = self.workload.testbench.run_golden()
+            from ..obs import get_telemetry
+
+            with get_telemetry().tracer.span(
+                "golden_trace",
+                circuit=self.netlist.name,
+                n_cycles=self.workload.testbench.n_cycles,
+            ):
+                self.golden = self.workload.testbench.run_golden()
         return self.golden
 
     def ff_names(self, spec: CampaignSpec) -> List[str]:
@@ -234,16 +241,19 @@ def build_context(spec: CampaignSpec) -> CampaignContext:
     for the MAC presets, the generic burst testbench for the library
     circuits, or whatever a downstream package registered.
     """
-    netlist = get_circuit(spec.circuit)
-    workload = build_workload_for(
-        spec.circuit,
-        netlist,
-        n_frames=spec.n_frames,
-        min_len=spec.min_len,
-        max_len=spec.max_len,
-        gap=spec.gap,
-        seed=spec.workload_seed,
-    )
+    from ..obs import get_telemetry
+
+    with get_telemetry().tracer.span("synthesize", circuit=spec.circuit):
+        netlist = get_circuit(spec.circuit)
+        workload = build_workload_for(
+            spec.circuit,
+            netlist,
+            n_frames=spec.n_frames,
+            min_len=spec.min_len,
+            max_len=spec.max_len,
+            gap=spec.gap,
+            seed=spec.workload_seed,
+        )
     if spec.criterion == "packet":
         criterion: FailureCriterion = PacketInterfaceCriterion(
             workload.valid_nets, workload.data_nets

@@ -23,11 +23,30 @@ from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..faultinjection.campaign import CampaignResult
+from ..obs import get_telemetry
 from .spec import CampaignSpec
 
 __all__ = ["CampaignStore"]
 
 STORE_VERSION = 1
+
+
+def _record_lookup(kind: str, hit: bool) -> None:
+    """Count one store consultation and refresh the aggregate hit rate.
+
+    Counters: ``store.<kind>_hit`` / ``store.<kind>_miss`` per lookup kind
+    (``exact`` snapshot, ``snapshot`` seed, ``partial`` checkpoint) plus the
+    rollups ``store.hits`` / ``store.lookups``; gauge ``store.hit_rate`` is
+    the process-lifetime ratio of the two.
+    """
+    registry = get_telemetry().registry
+    registry.counter(f"store.{kind}_{'hit' if hit else 'miss'}").inc()
+    hits = registry.counter("store.hits")
+    lookups = registry.counter("store.lookups")
+    lookups.inc()
+    if hit:
+        hits.inc()
+    registry.gauge("store.hit_rate").set(hits.value / lookups.value)
 
 
 class CampaignStore:
@@ -92,6 +111,11 @@ class CampaignStore:
 
     def load_exact(self, spec: CampaignSpec) -> Optional[CampaignResult]:
         """The stored result for exactly ``spec.n_injections``, if any."""
+        result = self._load_exact(spec)
+        _record_lookup("exact", result is not None)
+        return result
+
+    def _load_exact(self, spec: CampaignSpec) -> Optional[CampaignResult]:
         doc = self._read(spec)
         if doc is None:
             return None
@@ -111,6 +135,13 @@ class CampaignStore:
         Only meaningful for the ``stream`` schedule, whose draws are
         prefix-stable across budgets.
         """
+        found = self._best_snapshot(spec)
+        _record_lookup("snapshot", found is not None)
+        return found
+
+    def _best_snapshot(
+        self, spec: CampaignSpec
+    ) -> Optional[Tuple[int, CampaignResult]]:
         doc = self._read(spec)
         if doc is None:
             return None
@@ -133,6 +164,7 @@ class CampaignStore:
         return None
 
     def save_snapshot(self, spec: CampaignSpec, result: CampaignResult) -> None:
+        get_telemetry().registry.counter("store.snapshot_writes").inc()
         doc = self._doc(spec)
         doc["spec"] = spec.to_dict()
         doc["snapshots"][str(result.n_injections)] = result.to_payload()
@@ -152,6 +184,13 @@ class CampaignStore:
         counters (``{"ff": {name: [inj, fail, lat]}, "n_forward_runs": ...,
         "total_lane_cycles": ..., "wall_seconds": ...}``).
         """
+        checkpoint = self._load_partial(spec, base, target)
+        _record_lookup("partial", checkpoint is not None)
+        return checkpoint
+
+    def _load_partial(
+        self, spec: CampaignSpec, base: int, target: int
+    ) -> Optional[Tuple[Set[int], Dict]]:
         doc = self._read(spec)
         if doc is None:
             return None
@@ -196,6 +235,7 @@ class CampaignStore:
         done_cycles: Set[int],
         accum: Dict,
     ) -> None:
+        get_telemetry().registry.counter("store.checkpoint_writes").inc()
         doc = self._doc(spec)
         doc["partial"] = {
             "base": base,

@@ -43,6 +43,7 @@ from .faultinjection.campaign import CampaignResult
 from .features.dataset import Dataset
 from .features.extractor import build_dataset
 from .netlist.core import Netlist
+from .obs import get_telemetry
 
 __all__ = [
     "DatasetSpec",
@@ -197,25 +198,31 @@ def generate_dataset(
     # (circuit, workload and criterion all resolve from the campaign spec),
     # so serial and jobs > 1 runs can never diverge in construction.
     context = build_context(campaign_spec)
+    # Record the golden trace up front so its span is a sibling of the
+    # campaign span in the trace, not buried inside it.
+    golden = context.ensure_golden()
     engine = CampaignEngine(
         campaign_spec, jobs=jobs, cache_dir=campaign_cache_dir, context=context
     )
     campaign = engine.run()
-    dataset = build_dataset(
-        context.netlist,
-        context.ensure_golden(),
-        campaign,
-        meta={
-            "schema_version": DATASET_SCHEMA_VERSION,
-            "spec": asdict(spec),
-            "criterion": campaign_spec.criterion,
-            "campaign_key": campaign_spec.cache_key(),
-            "backend": backend,
-            "scheduler": scheduler,
-            "schedule": campaign_spec.schedule,
-            "code_version": __version__,
-        },
-    )
+    with get_telemetry().tracer.span(
+        "features", circuit=spec.circuit, n_ff=len(campaign.results)
+    ):
+        dataset = build_dataset(
+            context.netlist,
+            golden,
+            campaign,
+            meta={
+                "schema_version": DATASET_SCHEMA_VERSION,
+                "spec": asdict(spec),
+                "criterion": campaign_spec.criterion,
+                "campaign_key": campaign_spec.cache_key(),
+                "backend": backend,
+                "scheduler": scheduler,
+                "schedule": campaign_spec.schedule,
+                "code_version": __version__,
+            },
+        )
     return dataset, campaign
 
 
@@ -253,6 +260,7 @@ def get_dataset(
         spec = replace(spec, criterion=default_criterion(spec.circuit))
     cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     cache_file = cache_dir / f"dataset_{spec.circuit}_{spec.cache_key()}.json"
+    registry = get_telemetry().registry
     if cache_file.exists() and not regenerate:
         try:
             dataset = Dataset.from_json(cache_file.read_text())
@@ -262,14 +270,19 @@ def get_dataset(
             dataset is not None
             and dataset.meta.get("schema_version") == DATASET_SCHEMA_VERSION
         ):
+            registry.counter("dataset.cache_hit").inc()
             return dataset
-    dataset, _campaign = generate_dataset(
-        spec,
-        jobs=jobs,
-        campaign_cache_dir=cache_dir,
-        backend=backend,
-        scheduler=scheduler,
-    )
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    cache_file.write_text(dataset.to_json())
+    registry.counter("dataset.cache_miss").inc()
+    with get_telemetry().tracer.span(
+        "dataset", circuit=spec.circuit, n_injections=spec.n_injections
+    ):
+        dataset, _campaign = generate_dataset(
+            spec,
+            jobs=jobs,
+            campaign_cache_dir=cache_dir,
+            backend=backend,
+            scheduler=scheduler,
+        )
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        cache_file.write_text(dataset.to_json())
     return dataset

@@ -50,9 +50,15 @@ from typing import List, Optional
 from ..campaigns import CampaignEngine, CampaignSpec
 from ..faultinjection.scheduler import EXECUTION_SCHEDULERS
 from ..data import DATASET_PRESETS, default_cache_dir
+from ..obs import JsonlSink, LiveProgressSink, Telemetry, get_telemetry, use_telemetry
 from ..sim.backend import BACKEND_NAMES
 from ..verify import verify_seeds
 from .spec import ExperimentContext, ExperimentRunner, ExperimentSpec
+
+#: Event subset written by ``--metrics-out`` (and the default telemetry
+#: file under ``--out``): the run's identity, its phase spans and the final
+#: metrics rollup — no per-shard progress chatter.
+METRICS_EVENTS = ("provenance", "span_begin", "span_end", "metrics")
 
 EXPERIMENTS = [
     "table1",
@@ -92,10 +98,24 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
         spec,
         jobs=args.jobs,
         cache_dir=cache_dir,
-        progress=lambda done, total: print(f"  shard {done}/{total}", flush=True),
+        # --live renders progress through the telemetry sink instead of
+        # printed shard lines (both would fight over the terminal).
+        progress=(
+            None
+            if args.live
+            else lambda done, total: print(f"  shard {done}/{total}", flush=True)
+        ),
     )
+    # Record the golden trace in the parent before any workers fork: a
+    # broken workload fails here with one clean traceback instead of in N
+    # pool workers, and the telemetry stream carries the full
+    # synthesize -> golden_trace -> campaign phase sequence (workers
+    # re-derive their own golden but attach no sinks).
+    engine.context.ensure_golden()
+    # --profile-out installs a CLI-wide profiler in main(); nesting a second
+    # cProfile inside it raises, so the local one only runs on its own.
     profiler = None
-    if args.profile:
+    if args.profile and args.profile_out is None:
         import cProfile
 
         profiler = cProfile.Profile()
@@ -261,6 +281,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="how many rows of the cProfile report to print (default: 25)",
     )
     parser.add_argument(
+        "--profile-out",
+        type=Path,
+        default=None,
+        help="profile the whole invocation and write the stats to this file "
+        "(valid pstats input: `python -m pstats <file>`); implies profiling "
+        "even without --profile",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write telemetry JSONL (provenance stamp, phase spans, final "
+        "metrics snapshot) to this file; defaults to <out>/telemetry.jsonl "
+        "when --out is set",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write the *full* telemetry event stream (spans, metrics and "
+        "per-shard progress events) to this JSONL file",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="render campaign progress as a single self-updating terminal "
+        "line (throughput + ETA) instead of per-shard log lines",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -293,6 +342,63 @@ def main(argv: Optional[List[str]] = None) -> int:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    telemetry = build_telemetry(args, out_dir)
+    profiler = None
+    if args.profile_out is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        with use_telemetry(telemetry):
+            telemetry.emit_provenance(
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                experiments=args.experiments,
+                scale=args.scale,
+                jobs=args.jobs,
+                backend=args.backend,
+                scheduler=args.scheduler,
+            )
+            return dispatch(args, cache_dir, out_dir)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            args.profile_out.parent.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(str(args.profile_out))
+            if args.profile:
+                import pstats
+
+                print(f"\n--- cProfile: top {args.profile_top} by cumulative time ---")
+                pstats.Stats(profiler).sort_stats("cumulative").print_stats(
+                    args.profile_top
+                )
+        telemetry.flush_metrics()
+        telemetry.close()
+
+
+def build_telemetry(args, out_dir: Optional[Path]) -> Telemetry:
+    """Assemble the run's telemetry from the CLI flags.
+
+    Every run with an ``--out`` directory records a provenance-stamped
+    telemetry file even without explicit flags (``<out>/telemetry.jsonl``,
+    metrics-event subset); ``--metrics-out`` relocates it, ``--trace-out``
+    adds the full event stream, ``--live`` the terminal progress line.
+    """
+    telemetry = Telemetry()
+    metrics_out = args.metrics_out
+    if metrics_out is None and out_dir is not None:
+        metrics_out = out_dir / "telemetry.jsonl"
+    if metrics_out is not None:
+        telemetry.add_sink(JsonlSink(metrics_out, events=METRICS_EVENTS))
+    if args.trace_out is not None:
+        telemetry.add_sink(JsonlSink(args.trace_out))
+    if args.live:
+        telemetry.add_sink(LiveProgressSink())
+    return telemetry
+
+
+def dispatch(args, cache_dir: Path, out_dir: Optional[Path]) -> int:
+    """Run the requested commands/experiments (current telemetry applies)."""
     if "all" in args.experiments:
         requested = list(ALL_EXPERIMENTS)
     else:
@@ -327,9 +433,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     for experiment in requested:
         print(f"=== {experiment} ===", flush=True)
         outcome = runner.run(build_spec(experiment, args))
-        print(outcome.text)
-        if out_dir:
-            outcome.write_exports(out_dir)
+        with get_telemetry().tracer.span("report", experiment=experiment):
+            print(outcome.text)
+            if out_dir:
+                outcome.write_exports(out_dir)
         print()
     return 0
 

@@ -41,6 +41,7 @@ from ..data import (
     get_dataset,
 )
 from ..features.dataset import Dataset
+from ..obs import get_telemetry
 
 __all__ = [
     "ExperimentSpec",
@@ -190,7 +191,13 @@ class ExperimentRunner:
                 f"unknown experiment {spec.experiment!r}; "
                 f"available: {available_experiments()}"
             ) from None
-        return protocol(self.context, spec)
+        # The protocol body covers dataset load/generation *and* model
+        # fitting; the nested dataset/campaign spans carve out their share,
+        # so this span's self-time is the training cost.
+        with get_telemetry().tracer.span(
+            "train", experiment=spec.experiment, scale=spec.scale, seed=spec.seed
+        ):
+            return protocol(self.context, spec)
 
     def run_named(
         self, experiment: str, scale: str = "mini", seed: int = 0, **options: object

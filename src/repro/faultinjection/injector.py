@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netlist.core import Netlist
+from ..obs import get_telemetry
 from ..sim.backend import BACKEND_NAMES, create_backend
 from ..sim.fused import FusedSweepKernel
 from ..sim.testbench import GoldenTrace, Testbench
@@ -286,6 +287,20 @@ class FaultInjector:
             )
         return self._fused
 
+    def _record_outcome(self, outcome: BatchOutcome) -> BatchOutcome:
+        """Report one forward run's lane-cycle volume to the telemetry layer.
+
+        Coarse-grained on purpose: two counter bumps per *batch* (which
+        simulates hundreds of lane-cycles), so the overhead is unmeasurable
+        with telemetry sinks detached.
+        """
+        registry = get_telemetry().registry
+        registry.counter(f"sim.{self.backend}.lane_cycles").inc(
+            outcome.cycles_simulated * outcome.n_lanes
+        )
+        registry.counter(f"sim.{self.backend}.forward_runs").inc()
+        return outcome
+
     def run_batch(
         self,
         cycle: int,
@@ -310,11 +325,13 @@ class FaultInjector:
             failed, latencies, cycles = self.fused_kernel().run_sweep(
                 cycle, end, ff_indices
             )
-            return BatchOutcome(
-                failed_mask=failed,
-                n_lanes=n,
-                cycles_simulated=cycles,
-                latencies=latencies,
+            return self._record_outcome(
+                BatchOutcome(
+                    failed_mask=failed,
+                    n_lanes=n,
+                    cycles_simulated=cycles,
+                    latencies=latencies,
+                )
             )
 
         sim = self.sim
@@ -366,11 +383,13 @@ class FaultInjector:
                 diverged = diverged | self._loopback_divergence(c, mask)
                 if sim.vec_is_full(failed | ~diverged):
                     break
-        return BatchOutcome(
-            failed_mask=sim.vec_to_int(failed),
-            n_lanes=n,
-            cycles_simulated=c - cycle,
-            latencies=latencies,
+        return self._record_outcome(
+            BatchOutcome(
+                failed_mask=sim.vec_to_int(failed),
+                n_lanes=n,
+                cycles_simulated=c - cycle,
+                latencies=latencies,
+            )
         )
 
     def run_set_batch(
@@ -463,11 +482,13 @@ class FaultInjector:
                 diverged = diverged | self._loopback_divergence(c, mask)
                 if sim.vec_is_full(failed | ~diverged):
                     break
-        return BatchOutcome(
-            failed_mask=sim.vec_to_int(failed),
-            n_lanes=n,
-            cycles_simulated=c - cycle,
-            latencies=latencies,
+        return self._record_outcome(
+            BatchOutcome(
+                failed_mask=sim.vec_to_int(failed),
+                n_lanes=n,
+                cycles_simulated=c - cycle,
+                latencies=latencies,
+            )
         )
 
     def _propagate_forced(self, forces: Dict[int, object], mask: object) -> None:

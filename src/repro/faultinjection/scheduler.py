@@ -111,7 +111,16 @@ class InjectionRequest:
 
 @dataclass
 class SchedulerStats:
-    """What one :meth:`AdaptiveScheduler.run` actually simulated."""
+    """What one :meth:`AdaptiveScheduler.run` actually simulated.
+
+    ``refills`` counts activations that reuse a lane freed earlier in the
+    same pass (the lanes early retirement gave back), ``early_retired``
+    the lanes retired at a divergence probe before the end of the trace
+    without having failed (i.e. re-converged to golden), and
+    ``peak_width`` the widest lane batch any pass allocated.  The fused
+    backend's generated kernel reports the core counters only (passes,
+    cycles, lane-cycles, activations, deferrals).
+    """
 
     n_injections: int = 0
     n_passes: int = 0
@@ -120,9 +129,51 @@ class SchedulerStats:
     activations: int = 0
     deferred: int = 0
     repacks: int = 0
+    refills: int = 0
+    early_retired: int = 0
+    peak_width: int = 0
     gated_cycles: int = 0
     partitions_evaluated: int = 0
     partitions_skipped: int = 0
+
+    def lane_occupancy(self) -> float:
+        """Fraction of allocated lane-slots that carried a live injection.
+
+        ``lane_cycles / (cycles_simulated * peak_width)`` — the quantity
+        refill and repack exist to maximize (a naive drained batch decays
+        toward 1/width).  0.0 when nothing was simulated or the width is
+        unknown (fused kernel).
+        """
+        if not self.cycles_simulated or not self.peak_width:
+            return 0.0
+        return self.lane_cycles / (self.cycles_simulated * self.peak_width)
+
+    def record_to(self, registry) -> None:
+        """Report this run's totals into a metrics registry
+        (:class:`repro.obs.metrics.MetricsRegistry` or compatible)."""
+        for name in (
+            "n_injections",
+            "n_passes",
+            "cycles_simulated",
+            "lane_cycles",
+            "activations",
+            "deferred",
+            "repacks",
+            "refills",
+            "early_retired",
+            "gated_cycles",
+            "partitions_evaluated",
+            "partitions_skipped",
+        ):
+            value = getattr(self, name)
+            if value:
+                registry.counter(f"scheduler.{name}").inc(value)
+        if self.cycles_simulated and self.peak_width:
+            registry.gauge("scheduler.lane_occupancy").set(self.lane_occupancy())
+        if self.cycles_simulated:
+            registry.gauge("scheduler.cone_gate_hit_rate").set(
+                self.gated_cycles / self.cycles_simulated
+            )
 
 
 @dataclass
@@ -377,6 +428,7 @@ class AdaptiveScheduler:
 
         total = len(requests)
         if self.injector.backend == "fused":
+            self.stats.peak_width = min(self.max_lanes, total)
             self._run_fused(requests, verdicts, horizon, progress)
         else:
             pending = requests
@@ -385,6 +437,13 @@ class AdaptiveScheduler:
                 self.stats.n_passes += 1
                 if progress is not None:
                     progress(total - len(pending), total)
+        from ..obs import get_telemetry
+
+        registry = get_telemetry().registry
+        self.stats.record_to(registry)
+        registry.counter(f"sim.{self.injector.backend}.lane_cycles").inc(
+            self.stats.lane_cycles
+        )
         return ScheduledOutcome(verdicts=verdicts, stats=self.stats)
 
     # ---------------------------------------------------------- fused path
@@ -472,6 +531,7 @@ class AdaptiveScheduler:
         stats = self.stats
 
         width = min(self.max_lanes, len(pending))
+        stats.peak_width = max(stats.peak_width, width)
         sim.resize_lanes(width)
         mask = sim.mask
         zero = sim.broadcast(0)
@@ -496,6 +556,7 @@ class AdaptiveScheduler:
         active_vec = zero
         failed_int = 0
         failed = zero
+        ever_used = 0  # lanes that have carried an injection this pass
         frontier = 0
         window = _FULL_WINDOW
         deferred: List[InjectionRequest] = []
@@ -557,6 +618,8 @@ class AdaptiveScheduler:
                 stats.deferred += 1
                 ptr += 1
             if activated:
+                stats.refills += (activated & ever_used).bit_count()
+                ever_used |= activated
                 am = self._native(activated)
                 nam = am ^ mask
                 load_fn(values, zero, am, nam, golden.ff_state[c])
@@ -642,6 +705,7 @@ class AdaptiveScheduler:
                 diff, frontier = self._probe_divergence(c, active_vec, slots)
                 retire_bits = active_int & (failed_int | (all_lanes ^ sim.vec_to_int(diff)))
                 if retire_bits:
+                    stats.early_retired += (retire_bits & ~failed_int).bit_count()
                     retire_lanes(retire_bits)
                     if active_int == 0:
                         if ptr >= n_pending:
@@ -661,6 +725,7 @@ class AdaptiveScheduler:
                         lane_req, lane_lat, slots, free, deadlines, failed
                     )
                     active_int = all_lanes  # every surviving lane is live
+                    ever_used = all_lanes  # survivors all carry injections
                     active_vec = self._native(active_int)
                     failed = self._native(failed_int)
                     stats.repacks += 1

@@ -1,0 +1,323 @@
+"""Dependency-free metrics primitives with mergeable snapshots.
+
+A :class:`MetricsRegistry` owns named instruments — :class:`Counter`,
+:class:`Gauge`, :class:`Histogram` and :class:`Timer` — and can serialize
+the whole set into a :class:`MetricsSnapshot`: a plain-JSON payload that
+merges with other snapshots.  Merging is the backbone of multi-process
+telemetry (the same pattern the campaign engine uses for its per-shard
+counter accumulator): worker processes record into their own registry,
+return ``registry.snapshot()`` with the shard payload, and the executor
+absorbs every snapshot into its live registry.
+
+Merge semantics are chosen so that snapshot merging is **associative and
+commutative** with the empty snapshot as identity (property-tested in
+``tests/test_obs.py``):
+
+* counters add;
+* gauges carry ``(sum, count, min, max)`` of every ``set()`` call — the
+  merged *value* is the observation mean, and the extremes survive;
+* histograms (and timers, which are histograms over seconds) carry
+  ``(count, sum, min, max)`` plus power-of-two magnitude buckets, which
+  add bucket-wise.
+
+Nothing here imports anything outside the standard library, so every layer
+of the engine can record metrics without dependency concerns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+]
+
+
+class Counter:
+    """Monotonically increasing integer count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase; use a Gauge for deltas")
+        self.value += n
+
+    def to_payload(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time observation with mergeable aggregates.
+
+    ``value`` is the most recent ``set()`` in *this* process; the snapshot
+    payload carries ``(sum, count, min, max)`` so merged gauges report the
+    mean of every observation across processes (last-write-wins would not
+    be commutative).
+    """
+
+    __slots__ = ("name", "value", "sum", "count", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.sum = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        self.sum += value
+        self.count += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_payload(self) -> Dict[str, float]:
+        return {
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def _bucket_of(value: float) -> str:
+    """Power-of-two magnitude bucket key for *value* (JSON-safe string)."""
+    if value <= 0.0:
+        return "0"
+    return str(math.frexp(value)[1])  # exponent e with 0.5 <= m < 1, v = m*2^e
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max + log2 magnitude buckets."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[str, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        key = _bucket_of(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+
+class Timer(Histogram):
+    """A histogram over wall-clock seconds, with a context-manager helper."""
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+
+class _TimerContext:
+    __slots__ = ("timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self.timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        import time
+
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        import time
+
+        self.timer.observe(time.perf_counter() - self._start)
+
+
+def _merge_gauge(a: Dict, b: Dict) -> Dict:
+    lo = [v for v in (a.get("min"), b.get("min")) if v is not None]
+    hi = [v for v in (a.get("max"), b.get("max")) if v is not None]
+    return {
+        "sum": a.get("sum", 0.0) + b.get("sum", 0.0),
+        "count": a.get("count", 0) + b.get("count", 0),
+        "min": min(lo) if lo else None,
+        "max": max(hi) if hi else None,
+    }
+
+
+def _merge_hist(a: Dict, b: Dict) -> Dict:
+    merged = _merge_gauge(a, b)
+    buckets = dict(a.get("buckets", {}))
+    for key, n in b.get("buckets", {}).items():
+        buckets[key] = buckets.get(key, 0) + n
+    merged["buckets"] = buckets
+    return merged
+
+
+class MetricsSnapshot:
+    """Immutable-ish, mergeable, JSON-serializable registry state."""
+
+    def __init__(self, payload: Optional[Dict] = None) -> None:
+        payload = payload or {}
+        self.counters: Dict[str, int] = dict(payload.get("counters", {}))
+        self.gauges: Dict[str, Dict] = {
+            k: dict(v) for k, v in payload.get("gauges", {}).items()
+        }
+        self.hists: Dict[str, Dict] = {
+            k: _copy_hist(v) for k, v in payload.get("hists", {}).items()
+        }
+
+    # ------------------------------------------------------------- identity
+
+    def to_payload(self) -> Dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": {k: dict(v) for k, v in self.gauges.items()},
+            "hists": {k: _copy_hist(v) for k, v in self.hists.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "MetricsSnapshot":
+        return cls(payload)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return self.to_payload() == other.to_payload()
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.hists)
+
+    # ---------------------------------------------------------------- merge
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """A new snapshot combining *self* and *other* (either order)."""
+        out = MetricsSnapshot(self.to_payload())
+        for name, value in other.counters.items():
+            out.counters[name] = out.counters.get(name, 0) + value
+        for name, payload in other.gauges.items():
+            out.gauges[name] = _merge_gauge(out.gauges.get(name, {}), payload)
+        for name, payload in other.hists.items():
+            out.hists[name] = _merge_hist(out.hists.get(name, {}), payload)
+        return out
+
+    def gauge_mean(self, name: str) -> float:
+        g = self.gauges.get(name, {})
+        return g["sum"] / g["count"] if g.get("count") else 0.0
+
+
+def _copy_hist(payload: Dict) -> Dict:
+    out = dict(payload)
+    out["buckets"] = dict(payload.get("buckets", {}))
+    return out
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot-able at any time."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        # isinstance, not exact type: a Timer satisfies histogram() lookups
+        # (it is one), which merged snapshots rely on — absorbed histogram
+        # payloads materialize as Timers so later timer() calls still work.
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def __iter__(self) -> Iterator[Tuple[str, object]]:
+        return iter(sorted(self._instruments.items()))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # ------------------------------------------------------------ snapshots
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The registry's current state as a mergeable snapshot."""
+        snap = MetricsSnapshot()
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                if instrument.value:
+                    snap.counters[name] = instrument.value
+            elif isinstance(instrument, (Timer, Histogram)):
+                if instrument.count:
+                    snap.hists[name] = instrument.to_payload()
+            elif isinstance(instrument, Gauge):
+                if instrument.count:
+                    snap.gauges[name] = instrument.to_payload()
+        return snap
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Merge *snapshot* (e.g. from a worker process) into the live
+        instruments, preserving instrument types."""
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, payload in snapshot.gauges.items():
+            gauge = self.gauge(name)
+            merged = _merge_gauge(gauge.to_payload(), payload)
+            gauge.sum = merged["sum"]
+            gauge.count = merged["count"]
+            gauge.min = merged["min"]
+            gauge.max = merged["max"]
+            gauge.value = gauge.mean()
+        for name, payload in snapshot.hists.items():
+            hist = self._get(name, Timer) if name not in self._instruments else self._instruments[name]
+            if not isinstance(hist, Histogram):
+                raise TypeError(f"metric {name!r} is not a histogram")
+            merged = _merge_hist(hist.to_payload(), payload)
+            hist.count = merged["count"]
+            hist.sum = merged["sum"]
+            hist.min = merged["min"]
+            hist.max = merged["max"]
+            hist.buckets = merged["buckets"]

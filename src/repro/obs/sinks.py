@@ -1,0 +1,141 @@
+"""Pluggable telemetry sinks: JSONL files, in-memory capture, live TTY.
+
+A sink receives every telemetry event (a plain dict; see
+``docs/observability.md`` for the schema) via :meth:`Sink.emit`.  Sinks may
+restrict themselves to an event subset with the ``events`` filter — the
+CLI's ``--metrics-out`` attaches a :class:`JsonlSink` limited to span,
+metrics and provenance events while ``--trace-out`` captures the full
+stream, and ``--live`` attaches a :class:`LiveProgressSink` that renders
+``progress`` events as a single self-updating terminal line with
+throughput and ETA.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO
+
+__all__ = ["Sink", "JsonlSink", "MemorySink", "LiveProgressSink", "NullSink"]
+
+
+class Sink:
+    """Base sink: accepts every event, does nothing."""
+
+    def __init__(self, events: Optional[Sequence[str]] = None) -> None:
+        #: ``None`` accepts every event type.
+        self.events = frozenset(events) if events is not None else None
+
+    def accepts(self, event: Dict) -> bool:
+        return self.events is None or event.get("event") in self.events
+
+    def emit(self, event: Dict) -> None:  # pragma: no cover - interface
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(Sink):
+    """Explicit no-op sink (useful to force ``Telemetry.active`` on)."""
+
+    def emit(self, event: Dict) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Collects events in a list — the test/debugging sink."""
+
+    def __init__(self, events: Optional[Sequence[str]] = None) -> None:
+        super().__init__(events)
+        self.records: List[Dict] = []
+
+    def emit(self, event: Dict) -> None:
+        self.records.append(event)
+
+    def of_type(self, event_type: str) -> List[Dict]:
+        return [e for e in self.records if e.get("event") == event_type]
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per event to a file.
+
+    Lines are flushed as they are written, so a crashed or interrupted run
+    still leaves a readable prefix — the same durability stance as the
+    campaign store's checkpoints.
+    """
+
+    def __init__(
+        self, path: Path, events: Optional[Sequence[str]] = None
+    ) -> None:
+        super().__init__(events)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[TextIO] = open(self.path, "a")
+
+    def emit(self, event: Dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class LiveProgressSink(Sink):
+    """Single self-updating progress line for interactive runs.
+
+    Renders ``progress`` events (``scope``, ``done``, ``total`` and
+    optional ``injections_per_sec`` / ``eta_seconds`` fields) as::
+
+        campaign 12/32 shards | 38% | 45,210 inj/s | ETA 0:42
+
+    Writes carriage-return updates only when the stream is a TTY; on a
+    plain pipe each update becomes its own line, so logs stay readable.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        super().__init__(events=("progress",))
+        self.stream = stream if stream is not None else sys.stderr
+        self._dirty = False
+
+    @staticmethod
+    def _fmt_eta(seconds: float) -> str:
+        seconds = max(0, int(round(seconds)))
+        return f"{seconds // 60}:{seconds % 60:02d}"
+
+    def render(self, event: Dict) -> str:
+        parts = [
+            f"{event.get('scope', 'run')} "
+            f"{event.get('done', 0)}/{event.get('total', 0)} "
+            f"{event.get('unit', 'shards')}"
+        ]
+        total = event.get("total") or 0
+        if total:
+            parts.append(f"{100.0 * event.get('done', 0) / total:.0f}%")
+        rate = event.get("injections_per_sec")
+        if rate:
+            parts.append(f"{rate:,.0f} inj/s")
+        eta = event.get("eta_seconds")
+        if eta is not None:
+            parts.append(f"ETA {self._fmt_eta(eta)}")
+        return " | ".join(parts)
+
+    def emit(self, event: Dict) -> None:
+        line = self.render(event)
+        if self.stream.isatty():
+            self.stream.write("\r\x1b[2K" + line)
+            self._dirty = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

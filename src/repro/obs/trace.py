@@ -1,0 +1,101 @@
+"""Span-based tracing of the implicit pipeline phases.
+
+The engine's end-to-end flow has always had phases — synthesize → golden
+trace → campaign → features → dataset → train → report — but they only
+existed as code structure.  :class:`Tracer` makes them explicit: a
+``with tracer.span("campaign", circuit="xgmac"):`` block
+
+* emits a ``span_begin`` / ``span_end`` event pair (with a stable span id,
+  the parent span id, the attributes, and the wall-clock duration) to the
+  owning telemetry's sinks, and
+* records the duration into the metrics registry as the
+  ``phase.<name>_seconds`` timer — so phase timings survive in metrics
+  snapshots even when no event sink is attached (worker processes, for
+  example, have no sinks; their phase timers ride back to the executor
+  inside the merged snapshot).
+
+Event schema (one JSON object per line in a
+:class:`~repro.obs.sinks.JsonlSink` stream)::
+
+    {"event": "span_begin", "ts": <unix>, "span": 3, "parent": 1,
+     "name": "campaign", "attrs": {"circuit": "xgmac"}}
+    {"event": "span_end",   "ts": <unix>, "span": 3, "parent": 1,
+     "name": "campaign", "seconds": 12.81, "attrs": {...}}
+
+See ``docs/observability.md`` for the full schema catalogue.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import Telemetry
+
+__all__ = ["Tracer", "PIPELINE_PHASES"]
+
+#: The canonical pipeline phases, in flow order.  Spans are not limited to
+#: these names, but every phase in this tuple is instrumented somewhere in
+#: the engine.
+PIPELINE_PHASES = (
+    "synthesize",
+    "golden_trace",
+    "campaign",
+    "features",
+    "dataset",
+    "train",
+    "report",
+)
+
+
+class Tracer:
+    """Emits nested span events through one :class:`~repro.obs.Telemetry`."""
+
+    def __init__(self, telemetry: "Telemetry") -> None:
+        self._telemetry = telemetry
+        self._next_id = 1
+        self._stack: List[int] = []
+
+    @property
+    def current_span(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        """Trace one phase: emit begin/end events, record the phase timer."""
+        telemetry = self._telemetry
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self.current_span
+        self._stack.append(span_id)
+        emit = telemetry.active
+        if emit:
+            telemetry.emit(
+                {
+                    "event": "span_begin",
+                    "span": span_id,
+                    "parent": parent,
+                    "name": name,
+                    "attrs": attrs,
+                }
+            )
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            seconds = time.perf_counter() - start
+            self._stack.pop()
+            telemetry.registry.timer(f"phase.{name}_seconds").observe(seconds)
+            if emit:
+                telemetry.emit(
+                    {
+                        "event": "span_end",
+                        "span": span_id,
+                        "parent": parent,
+                        "name": name,
+                        "seconds": round(seconds, 6),
+                        "attrs": attrs,
+                    }
+                )

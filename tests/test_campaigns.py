@@ -246,7 +246,10 @@ def test_interrupted_run_resumes_from_checkpoint(tmp_path):
         if done == 2:
             raise Interrupted
 
-    engine = CampaignEngine(spec, cache_dir=tmp_path, progress=bomb)
+    # progress_interval=0 forwards every shard notification; the default
+    # time-based throttle could suppress the bomb's (done == 2) call on
+    # fast tiny shards.
+    engine = CampaignEngine(spec, cache_dir=tmp_path, progress=bomb, progress_interval=0.0)
     with pytest.raises(Interrupted):
         engine.run()
 

@@ -1,0 +1,174 @@
+"""Validate a telemetry JSONL file (schema + span balance).
+
+CI runs a mini campaign with ``--metrics-out``/``--trace-out`` and feeds
+the resulting files through this checker, so a regression in the telemetry
+layer (malformed events, unbalanced spans, missing instrumentation) fails
+the build instead of silently producing unusable run records::
+
+    python tools/check_telemetry.py run/telemetry.jsonl \
+        --require-span campaign --require-metric scheduler.lane_occupancy
+
+Checks applied to every file:
+
+* each line parses as a JSON object with a known ``event`` type
+  (``provenance``, ``span_begin``, ``span_end``, ``metrics``,
+  ``progress``) and a numeric ``ts`` stamp;
+* ``span_begin``/``span_end`` pairs balance — same ``name``/``parent``
+  per span id, every end has a begin, ``seconds >= 0``;
+* ``metrics`` events carry the mergeable-snapshot payload shape
+  (``counters``/``gauges``/``hists`` dicts);
+* ``progress`` events carry integer ``done <= total``.
+
+``--require-span`` / ``--require-metric`` (repeatable) additionally assert
+that a named span completed and that a named counter/gauge/histogram
+appears in some ``metrics`` event.  Exit status 0 = valid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+KNOWN_EVENTS = {"provenance", "span_begin", "span_end", "metrics", "progress"}
+
+
+class TelemetryError(Exception):
+    """One validation failure, with the offending line number."""
+
+
+def _fail(lineno: int, message: str) -> TelemetryError:
+    return TelemetryError(f"line {lineno}: {message}")
+
+
+def validate_file(path: Path) -> Dict[str, Set[str]]:
+    """Validate one JSONL file; returns the observed span and metric names.
+
+    Raises :class:`TelemetryError` on the first violation.
+    """
+    open_spans: Dict[int, Dict] = {}
+    spans_ended: Set[str] = set()
+    metric_names: Set[str] = set()
+    events_seen = 0
+
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                raise _fail(lineno, f"not valid JSON ({exc})") from None
+            if not isinstance(event, dict):
+                raise _fail(lineno, "event is not a JSON object")
+            kind = event.get("event")
+            if kind not in KNOWN_EVENTS:
+                raise _fail(lineno, f"unknown event type {kind!r}")
+            if not isinstance(event.get("ts"), (int, float)):
+                raise _fail(lineno, f"{kind} event has no numeric 'ts'")
+            events_seen += 1
+
+            if kind in ("span_begin", "span_end"):
+                span_id = event.get("span")
+                name = event.get("name")
+                if not isinstance(span_id, int) or not isinstance(name, str):
+                    raise _fail(lineno, f"{kind} needs integer 'span' and string 'name'")
+                if kind == "span_begin":
+                    if span_id in open_spans:
+                        raise _fail(lineno, f"span {span_id} begun twice")
+                    open_spans[span_id] = event
+                else:
+                    begin = open_spans.pop(span_id, None)
+                    if begin is None:
+                        raise _fail(lineno, f"span_end {span_id} without begin")
+                    if begin.get("name") != name or begin.get("parent") != event.get("parent"):
+                        raise _fail(
+                            lineno, f"span {span_id} end does not match its begin"
+                        )
+                    seconds = event.get("seconds")
+                    if not isinstance(seconds, (int, float)) or seconds < 0:
+                        raise _fail(lineno, f"span {span_id} has invalid 'seconds'")
+                    spans_ended.add(name)
+            elif kind == "metrics":
+                payload = event.get("metrics")
+                if not isinstance(payload, dict):
+                    raise _fail(lineno, "metrics event has no 'metrics' payload")
+                for family in ("counters", "gauges", "hists"):
+                    table = payload.get(family, {})
+                    if not isinstance(table, dict):
+                        raise _fail(lineno, f"metrics '{family}' is not an object")
+                    metric_names.update(table)
+            elif kind == "progress":
+                done, total = event.get("done"), event.get("total")
+                if not isinstance(done, int) or not isinstance(total, int):
+                    raise _fail(lineno, "progress needs integer 'done' and 'total'")
+                if done > total:
+                    raise _fail(lineno, f"progress done={done} > total={total}")
+
+    if events_seen == 0:
+        raise TelemetryError(f"{path}: no telemetry events at all")
+    if open_spans:
+        names = sorted(e.get("name", "?") for e in open_spans.values())
+        raise TelemetryError(f"{path}: unclosed span(s): {names}")
+    return {"spans": spans_ended, "metrics": metric_names}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=Path, help="telemetry JSONL files")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="assert this span completed in at least one file (repeatable)",
+    )
+    parser.add_argument(
+        "--require-metric",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="assert this metric appears in a metrics event (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    seen_spans: Set[str] = set()
+    seen_metrics: Set[str] = set()
+    for path in args.files:
+        try:
+            observed = validate_file(path)
+        except OSError as exc:
+            print(f"ERROR: {path}: {exc}", file=sys.stderr)
+            return 1
+        except TelemetryError as exc:
+            print(f"ERROR: {path}: {exc}", file=sys.stderr)
+            return 1
+        seen_spans.update(observed["spans"])
+        seen_metrics.update(observed["metrics"])
+        print(
+            f"{path}: ok ({len(observed['spans'])} span name(s), "
+            f"{len(observed['metrics'])} metric(s))"
+        )
+
+    status = 0
+    for name in args.require_span:
+        if name not in seen_spans:
+            print(f"ERROR: required span {name!r} never completed", file=sys.stderr)
+            status = 1
+    for name in args.require_metric:
+        if name not in seen_metrics:
+            print(f"ERROR: required metric {name!r} never reported", file=sys.stderr)
+            status = 1
+    if status == 0 and (args.require_span or args.require_metric):
+        print(
+            f"required spans/metrics present: "
+            f"{args.require_span + args.require_metric}"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
