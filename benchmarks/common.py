@@ -31,14 +31,19 @@ def campaign_spec(
     backend: str = "compiled",
     scheduler: str = "adaptive",
     schedule: str = "stream",
+    policy: str = "flat",
+    target_margin: Optional[float] = None,
 ) -> CampaignSpec:
     """Campaign spec mirroring a dataset preset (the benchmark workloads)."""
+    kwargs = {} if target_margin is None else {"target_margin": target_margin}
     return CampaignSpec.from_dataset_spec(
         DATASET_PRESETS[scale],
         schedule=schedule,
         n_injections=n_injections,
         backend=backend,
         scheduler=scheduler,
+        policy=policy,
+        **kwargs,
     )
 
 

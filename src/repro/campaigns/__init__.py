@@ -13,13 +13,32 @@ philosophy to our own compute:
   injection time slot, and a balanced shard partitioner;
 * :mod:`~repro.campaigns.store` — a content-addressed JSON result store with
   snapshot reuse, incremental top-up and mid-run checkpoints;
+* :mod:`~repro.campaigns.policy` — sampling policies: the paper's flat
+  protocol and a sequential-Wilson mode with per-flip-flop early stopping
+  and budget reallocation;
 * :mod:`~repro.campaigns.executor` — the engine: runs shards across worker
   processes (serial fallback included) and merges per-flip-flop results
   bit-exactly.
 """
 
 from .executor import CampaignEngine, EngineReport, run_campaign
-from .partition import Bucket, legacy_buckets, partition_shards, stream_buckets
+from .partition import (
+    Bucket,
+    legacy_buckets,
+    partition_shards,
+    stream_buckets,
+    stream_buckets_ranged,
+)
+from .policy import (
+    DEFAULT_TARGET_MARGIN,
+    SAMPLING_POLICIES,
+    FlatPolicy,
+    SamplingPolicy,
+    SequentialWilsonPolicy,
+    ShardGate,
+    make_policy,
+    policy_signature,
+)
 from .spec import CampaignContext, CampaignSpec, build_context
 from .store import CampaignStore
 
@@ -29,10 +48,19 @@ __all__ = [
     "CampaignEngine",
     "CampaignSpec",
     "CampaignStore",
+    "DEFAULT_TARGET_MARGIN",
     "EngineReport",
+    "FlatPolicy",
+    "SAMPLING_POLICIES",
+    "SamplingPolicy",
+    "SequentialWilsonPolicy",
+    "ShardGate",
     "build_context",
     "legacy_buckets",
+    "make_policy",
     "partition_shards",
+    "policy_signature",
     "run_campaign",
     "stream_buckets",
+    "stream_buckets_ranged",
 ]

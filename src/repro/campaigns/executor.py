@@ -39,7 +39,14 @@ from ..obs import (
     set_telemetry,
     use_telemetry,
 )
-from .partition import Bucket, legacy_buckets, partition_shards, stream_buckets
+from .partition import (
+    Bucket,
+    legacy_buckets,
+    partition_shards,
+    stream_buckets,
+    stream_buckets_ranged,
+)
+from .policy import ShardGate, make_policy, policy_signature, realized_margins
 from .spec import CampaignContext, CampaignSpec, build_context
 from .store import CampaignStore
 
@@ -63,6 +70,11 @@ class EngineReport:
     executed_forward_runs: int = 0
     n_shards: int = 0
     wall_seconds: float = 0.0
+    #: Sequential-policy rounds driven (0 for the flat single-round path).
+    rounds: int = 0
+    #: Injections the sampling policy avoided vs. the flat protocol's
+    #: ``nominal × n_ffs`` total (0 for flat).
+    injections_saved: int = 0
 
 
 @dataclass
@@ -134,8 +146,18 @@ class _ShardRunner:
     def from_spec(cls, spec: CampaignSpec) -> "_ShardRunner":
         return cls(spec, build_context(spec))
 
-    def run_shard(self, buckets: Sequence[Tuple[int, Sequence[str]]]) -> Dict:
+    def run_shard(
+        self,
+        buckets: Sequence[Tuple[int, Sequence[str]]],
+        gate: Optional[ShardGate] = None,
+    ) -> Dict:
         """Simulate a shard's buckets; return mergeable counters.
+
+        *gate*, when given, is the sampling policy's online decision point:
+        every injection is offered to ``gate.admit`` before it costs a lane,
+        and verdicts are reported back so in-shard tallies tighten as lanes
+        retire.  Skipped draws are returned in the payload's ``"skipped"``
+        map — they consumed their draw-stream indices without executing.
 
         The payload also carries the shard's wall time (feeds the engine's
         worker-utilization gauge) and, per backend, a lane-cycles/sec gauge
@@ -145,9 +167,9 @@ class _ShardRunner:
         """
         start = time.perf_counter()
         payload = (
-            self._run_shard_scheduled(buckets)
+            self._run_shard_scheduled(buckets, gate)
             if self.scheduler is not None
-            else self._run_shard_batches(buckets)
+            else self._run_shard_batches(buckets, gate)
         )
         wall = time.perf_counter() - start
         payload["wall_seconds"] = wall
@@ -159,13 +181,21 @@ class _ShardRunner:
             )
         return payload
 
-    def _run_shard_batches(self, buckets: Sequence[Tuple[int, Sequence[str]]]) -> Dict:
+    def _run_shard_batches(
+        self,
+        buckets: Sequence[Tuple[int, Sequence[str]]],
+        gate: Optional[ShardGate] = None,
+    ) -> Dict:
         spec = self.spec
         injector = self.injector
         ff: Dict[str, List[int]] = {}
         n_runs = 0
         lane_cycles = 0
         for cycle, lanes in buckets:
+            if gate is not None:
+                lanes = tuple(name for name in lanes if gate.admit(name))
+                if not lanes:
+                    continue
             indices = [injector.ff_index(name) for name in lanes]
             for start in range(0, len(indices), spec.max_lanes):
                 chunk = indices[start : start + spec.max_lanes]
@@ -174,9 +204,12 @@ class _ShardRunner:
                 n_runs += 1
                 lane_cycles += outcome.cycles_simulated * len(chunk)
                 for lane, name in enumerate(names):
+                    failed = bool((outcome.failed_mask >> lane) & 1)
+                    if gate is not None:
+                        gate.record(name, failed)
                     rec = ff.setdefault(name, [0, 0, 0])
                     rec[0] += 1
-                    if (outcome.failed_mask >> lane) & 1:
+                    if failed:
                         rec[1] += 1
                         rec[2] += outcome.latencies.get(lane, 0)
         return {
@@ -184,9 +217,14 @@ class _ShardRunner:
             "n_forward_runs": n_runs,
             "total_lane_cycles": lane_cycles,
             "done_cycles": [cycle for cycle, _ in buckets],
+            "skipped": dict(gate.skipped) if gate is not None else {},
         }
 
-    def _run_shard_scheduled(self, buckets: Sequence[Tuple[int, Sequence[str]]]) -> Dict:
+    def _run_shard_scheduled(
+        self,
+        buckets: Sequence[Tuple[int, Sequence[str]]],
+        gate: Optional[ShardGate] = None,
+    ) -> Dict:
         injector = self.injector
         requests: List[Tuple[int, int]] = []
         names: List[str] = []
@@ -194,9 +232,22 @@ class _ShardRunner:
             for name in lanes:
                 requests.append((cycle, injector.ff_index(name)))
                 names.append(name)
-        outcome = self.scheduler.run(requests, horizon=self.spec.horizon)
+        admit = on_verdict = None
+        if gate is not None:
+            admit = lambda req: gate.admit(names[req.key])  # noqa: E731
+            on_verdict = lambda req, failed: gate.record(  # noqa: E731
+                names[req.key], failed
+            )
+        outcome = self.scheduler.run(
+            requests, horizon=self.spec.horizon, admit=admit, on_verdict=on_verdict
+        )
+        skipped_keys = frozenset(outcome.skipped)
         ff: Dict[str, List[int]] = {}
-        for name, (failed, latency) in zip(names, outcome.verdicts):
+        skipped: Dict[str, int] = {}
+        for key, (name, (failed, latency)) in enumerate(zip(names, outcome.verdicts)):
+            if key in skipped_keys:
+                skipped[name] = skipped.get(name, 0) + 1
+                continue
             rec = ff.setdefault(name, [0, 0, 0])
             rec[0] += 1
             if failed:
@@ -207,6 +258,7 @@ class _ShardRunner:
             "n_forward_runs": outcome.stats.n_passes,
             "total_lane_cycles": outcome.stats.lane_cycles,
             "done_cycles": [cycle for cycle, _ in buckets],
+            "skipped": skipped,
         }
 
 
@@ -232,6 +284,26 @@ def _worker_run_shard(shard: List[Tuple[int, Tuple[str, ...]]]) -> Dict:
     # of accumulating invisibly in the worker process.
     with use_telemetry(Telemetry()) as telemetry:
         payload = _WORKER.run_shard(shard)
+        payload["metrics"] = telemetry.registry.snapshot().to_payload()
+    return payload
+
+
+def _worker_run_shard_gated(
+    task: Tuple[List[Tuple[int, Tuple[str, ...]]], Dict[str, List[int]]]
+) -> Dict:
+    """Pool entry point for one sequential-policy shard.
+
+    *task* is ``(shard, tallies)`` — the shard's buckets plus a snapshot of
+    the campaign-wide ``[n, k, consumed]`` tallies at the round boundary.
+    The worker rebuilds the policy from its spec and gates the shard with a
+    :class:`~repro.campaigns.policy.ShardGate`, so flip-flops whose interval
+    collapses mid-shard stop consuming lanes immediately.
+    """
+    shard, tallies = task
+    assert _WORKER is not None, "worker used before initialization"
+    gate = ShardGate(make_policy(_WORKER.spec), tallies)
+    with use_telemetry(Telemetry()) as telemetry:
+        payload = _WORKER.run_shard(shard, gate=gate)
         payload["metrics"] = telemetry.registry.snapshot().to_payload()
     return payload
 
@@ -296,6 +368,9 @@ class CampaignEngine:
         self.progress_interval = progress_interval
         self._busy_seconds = 0.0
         self.last_report = EngineReport()
+        #: Bookkeeping of the most recent sequential-policy run (rounds,
+        #: injections saved, realized margins); empty for flat runs.
+        self.last_policy_meta: Dict = {}
 
     def _validate_context(self, context: CampaignContext) -> None:
         """Guard the invariants a caller-supplied context must share with the
@@ -335,8 +410,11 @@ class CampaignEngine:
             backend=spec.backend,
             scheduler=spec.scheduler,
             schedule=spec.schedule,
+            policy=spec.policy,
             jobs=self.jobs,
         ):
+            if spec.policy == "sequential":
+                return self._run_sequential(resume)
             return self._run(resume)
 
     def _run(self, resume: bool) -> CampaignResult:
@@ -420,6 +498,217 @@ class CampaignEngine:
             registry.gauge("campaign.worker_utilization").set(
                 min(1.0, self._busy_seconds / (self.jobs * report.wall_seconds))
             )
+
+    # -------------------------------------------------- sequential sampling
+
+    def _run_sequential(self, resume: bool) -> CampaignResult:
+        """Round-based adaptive campaign driven by the sampling policy.
+
+        Each round asks the policy for per-flip-flop draw ranges
+        (:meth:`~repro.campaigns.policy.SamplingPolicy.allocate`), schedules
+        exactly those prefix-stable draws, executes them gate-checked (a
+        flip-flop whose Wilson interval collapses mid-shard stops consuming
+        lanes immediately), merges the tallies and repeats until the policy
+        allocates nothing.  Tallies are ``{ff: [n, k, consumed]}`` — see
+        :class:`~repro.campaigns.policy.SamplingPolicy` for the invariant
+        ``k <= n <= consumed`` that keeps draw indices single-use even when
+        gating skips scheduled draws.
+
+        Results are deterministic for a fixed ``(seed, jobs,
+        shards_per_job)``; unlike the flat path they may vary with the shard
+        partition, because gating decisions depend on shard-local verdict
+        order.  ``target_margin=0.0`` never retires anything and reproduces
+        the flat counters bit-for-bit.
+        """
+        start_time = self._run_start = time.monotonic()
+        spec = self.spec
+        report = EngineReport(jobs=self.jobs)
+        self.last_report = report
+        signature = policy_signature(spec)
+        registry = get_telemetry().registry
+
+        if self.store is not None:
+            found = self.store.load_policy_snapshot(spec, signature)
+            if found is not None:
+                result, meta = found
+                report.cache_hit = True
+                report.rounds = int(meta.get("rounds", 0))
+                report.injections_saved = int(meta.get("injections_saved", 0))
+                report.wall_seconds = time.monotonic() - start_time
+                self.last_policy_meta = meta
+                return result
+
+        context = self.context
+        window = context.window_cycles()
+        ff_names = context.ff_names(spec)
+        policy = make_policy(spec)
+
+        tallies: Dict[str, List[int]] = {name: [0, 0, 0] for name in ff_names}
+        accum = _Accumulator()
+        resumed = False
+        if self.store is not None and resume:
+            checkpoint = self.store.load_policy_partial(spec, signature)
+            if checkpoint is not None and set(checkpoint[0]) == set(ff_names):
+                tallies, accum_payload = checkpoint
+                accum = _Accumulator.from_payload(accum_payload)
+                resumed = True
+        if not resumed and self.store is not None:
+            # A flat snapshot of the family is a valid prefix of every
+            # flip-flop's draw stream: seed the tallies from it and only
+            # simulate what the policy wants beyond it.
+            found = self.store.best_snapshot(spec)
+            if found is not None:
+                base_n, base = found
+                report.base_injections = base_n
+                registry.counter("store.topups").inc()
+                for name in ff_names:
+                    prior = base.results.get(name)
+                    if prior is not None and prior.n_injections > 0:
+                        tallies[name] = [
+                            prior.n_injections,
+                            prior.n_failures,
+                            prior.n_injections,
+                        ]
+                        accum.ff[name] = [
+                            prior.n_injections,
+                            prior.n_failures,
+                            prior.latency_sum,
+                        ]
+                accum.n_forward_runs += base.n_forward_runs
+                accum.total_lane_cycles += base.total_lane_cycles
+                accum.wall_seconds += base.wall_seconds
+
+        runner: Optional[_ShardRunner] = None
+        pool = None
+        try:
+            while True:
+                allocation = policy.allocate(tallies, len(window))
+                if not allocation:
+                    break
+                report.rounds += 1
+                buckets = stream_buckets_ranged(spec, window, allocation)
+                if not buckets:
+                    break
+                n_shards = min(len(buckets), max(1, self.jobs * self.shards_per_job))
+                shards = partition_shards(buckets, n_shards)
+                report.n_shards += len(shards)
+                tasks = [[(b.cycle, b.lanes) for b in shard] for shard in shards]
+                snapshot = {name: list(rec) for name, rec in tallies.items()}
+                if self.jobs > 1 and len(tasks) > 1:
+                    if pool is None:
+                        # One pool for the whole campaign: workers rebuild the
+                        # netlist/golden trace once, not once per round.
+                        pool = _mp_context().Pool(
+                            processes=self.jobs,
+                            initializer=_worker_init,
+                            initargs=(spec.to_dict(),),
+                        )
+                    payloads = pool.imap_unordered(
+                        _worker_run_shard_gated, [(task, snapshot) for task in tasks]
+                    )
+                else:
+                    if runner is None:
+                        runner = _ShardRunner(spec, self.context)
+                    serial_runner = runner
+                    payloads = (
+                        serial_runner.run_shard(
+                            task, gate=ShardGate(policy, snapshot)
+                        )
+                        for task in tasks
+                    )
+                done_in_round = 0
+                for payload in payloads:
+                    accum.merge_shard(payload)
+                    report.executed_buckets += len(payload["done_cycles"])
+                    report.executed_forward_runs += payload["n_forward_runs"]
+                    shard_lanes = sum(rec[0] for rec in payload["ff"].values())
+                    report.executed_lanes += shard_lanes
+                    self._busy_seconds += payload.get("wall_seconds", 0.0)
+                    metrics = payload.get("metrics")
+                    if metrics:
+                        registry.absorb(MetricsSnapshot.from_payload(metrics))
+                    registry.counter("campaign.shard_merges").inc()
+                    registry.counter("campaign.injections").inc(shard_lanes)
+                    # Executed and gate-skipped draws both consumed their
+                    # stream indices; advancing per payload keeps the
+                    # checkpoint invariant (n <= consumed) intact even if a
+                    # later shard of the round never completes.
+                    for name, rec in payload["ff"].items():
+                        tally = tallies[name]
+                        tally[0] += rec[0]
+                        tally[1] += rec[1]
+                        tally[2] += rec[0]
+                    for name, count in payload.get("skipped", {}).items():
+                        tallies[name][2] += count
+                        registry.counter("policy.shard_skips").inc(count)
+                    done_in_round += 1
+                    if self.progress is not None:
+                        self.progress(done_in_round, len(tasks))
+                self._policy_checkpoint(signature, tallies, accum)
+        except BaseException:
+            self._policy_checkpoint(signature, tallies, accum)
+            raise
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+        result = CampaignResult(
+            circuit=spec.circuit, n_injections=spec.n_injections, seed=spec.seed
+        )
+        for name in ff_names:
+            record = FlipFlopResult(name)
+            rec = accum.ff.get(name)
+            if rec is not None:
+                record.n_injections = int(rec[0])
+                record.n_failures = int(rec[1])
+                record.latency_sum = int(rec[2])
+            result.results[name] = record
+        result.n_forward_runs = accum.n_forward_runs
+        result.total_lane_cycles = accum.total_lane_cycles
+        result.wall_seconds = accum.wall_seconds + (time.monotonic() - start_time)
+
+        total_executed = sum(rec[0] for rec in tallies.values())
+        flat_total = spec.n_injections * len(ff_names)
+        saved = max(0, flat_total - total_executed)
+        report.injections_saved = saved
+        registry.counter("policy.rounds").inc(report.rounds)
+        registry.counter("policy.injections_saved").inc(saved)
+        margins = realized_margins(tallies, getattr(policy, "confidence", 0.95))
+        for name in ff_names:
+            registry.histogram("policy.stopping_time").observe(tallies[name][0])
+        worst = max(margins.values()) if margins else float("nan")
+        mean = sum(margins.values()) / len(margins) if margins else float("nan")
+        if margins:
+            registry.gauge("policy.realized_margin").set(worst)
+            registry.gauge("policy.realized_margin_mean").set(mean)
+        meta = {
+            "policy": spec.policy,
+            "nominal": spec.n_injections,
+            "target_margin": spec.target_margin,
+            "rounds": report.rounds,
+            "total_injections": total_executed,
+            "flat_injections": flat_total,
+            "injections_saved": saved,
+            "realized_margin_max": worst,
+            "realized_margin_mean": mean,
+        }
+        self.last_policy_meta = meta
+        if self.store is not None:
+            self.store.save_policy_snapshot(spec, signature, result, meta)
+        report.wall_seconds = time.monotonic() - start_time
+        self._record_run_metrics(report)
+        return result
+
+    def _policy_checkpoint(
+        self, signature: str, tallies: Dict[str, List[int]], accum: _Accumulator
+    ) -> None:
+        if self.store is not None and any(rec[2] for rec in tallies.values()):
+            payload = accum.to_payload()
+            payload["wall_seconds"] = accum.wall_seconds + (
+                time.monotonic() - self._run_start
+            )
+            self.store.save_policy_partial(self.spec, signature, tallies, payload)
 
     # ------------------------------------------------------------ execution
 

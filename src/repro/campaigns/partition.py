@@ -40,6 +40,7 @@ __all__ = [
     "Bucket",
     "legacy_buckets",
     "stream_buckets",
+    "stream_buckets_ranged",
     "stream_draws",
     "partition_shards",
 ]
@@ -152,11 +153,29 @@ def stream_buckets(
     """
     if stop is None:
         stop = spec.n_injections
-    if not 0 <= start <= stop:
-        raise ValueError(f"invalid draw range [{start}, {stop})")
+    return stream_buckets_ranged(
+        spec, window, {name: (start, stop) for name in ff_names}
+    )
+
+
+def stream_buckets_ranged(
+    spec: CampaignSpec,
+    window: Sequence[int],
+    ranges: Dict[str, Tuple[int, int]],
+) -> List[Bucket]:
+    """Buckets for per-flip-flop draw ranges ``{ff: (start, stop)}``.
+
+    The generalization a :class:`~repro.campaigns.policy.SamplingPolicy`
+    round needs: each flip-flop advances its own prefix-stable draw stream
+    independently, so an adaptive allocation (different starts and stops
+    per flip-flop) still replays exactly the cycles a flat campaign would
+    have drawn for the same indices.
+    """
     slot_stream = stream_slot_order(spec, window)
     table: Dict[int, List[str]] = {}
-    for name in ff_names:
+    for name, (start, stop) in ranges.items():
+        if not 0 <= start <= stop:
+            raise ValueError(f"invalid draw range [{start}, {stop}) for {name!r}")
         rng = random.Random(f"ff:{spec.seed}:{name}")
         for cycle in stream_draws(slot_stream, rng, stop)[start:]:
             table.setdefault(cycle, []).append(name)

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from ..circuits.library import get_circuit
 from ..circuits.workloads import Workload, build_workload_for, default_criterion
 from ..faultinjection.scheduler import EXECUTION_SCHEDULERS
+from .policy import DEFAULT_TARGET_MARGIN, SAMPLING_POLICIES
 from ..faultinjection.classify import (
     AnyOutputCriterion,
     FailureCriterion,
@@ -79,10 +80,23 @@ class CampaignSpec:
     check_interval: int = 8
     backend: str = "compiled"
     scheduler: str = "adaptive"
+    policy: str = "flat"
+    target_margin: float = DEFAULT_TARGET_MARGIN
 
     def __post_init__(self) -> None:
         if self.schedule not in SCHEDULES:
             raise ValueError(f"unknown schedule {self.schedule!r}; choose from {SCHEDULES}")
+        if self.policy not in SAMPLING_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; choose from {SAMPLING_POLICIES}"
+            )
+        if not 0.0 <= self.target_margin < 1.0:
+            raise ValueError("target_margin must be in [0, 1)")
+        if self.policy == "sequential" and self.schedule != "stream":
+            raise ValueError(
+                "policy='sequential' requires the prefix-stable 'stream' "
+                "schedule (legacy draws reshuffle when the budget changes)"
+            )
         if self.criterion not in CRITERIA:
             raise ValueError(f"unknown criterion {self.criterion!r}; choose from {CRITERIA}")
         if self.backend not in BACKEND_NAMES:
@@ -124,11 +138,18 @@ class CampaignSpec:
         absent: every backend × scheduler combination produces bit-identical
         per-lane outcomes (differentially verified), so cached results are
         shared across all of them and the original compiled-backend cache
-        keys stay valid.
+        keys stay valid.  The sampling policy (and its target margin) is
+        excluded for the same reason: per-draw verdicts are
+        policy-invariant, so flat and sequential runs of one family share
+        draws and store documents — the store namespaces the policy's
+        *realized* snapshots separately (see
+        :func:`repro.campaigns.policy.policy_signature`).
         """
         payload = self.to_dict()
         payload.pop("backend", None)
         payload.pop("scheduler", None)
+        payload.pop("policy", None)
+        payload.pop("target_margin", None)
         return payload
 
     def cache_key(self) -> str:
@@ -160,6 +181,8 @@ class CampaignSpec:
         n_injections: Optional[int] = None,
         backend: str = "compiled",
         scheduler: str = "adaptive",
+        policy: str = "flat",
+        target_margin: float = DEFAULT_TARGET_MARGIN,
     ) -> "CampaignSpec":
         """Mirror a :class:`repro.data.DatasetSpec` (duck-typed to avoid the
         circular import; ``repro.data`` builds on this package).
@@ -175,6 +198,8 @@ class CampaignSpec:
         return cls(
             backend=backend,
             scheduler=scheduler,
+            policy=policy,
+            target_margin=target_margin,
             circuit=dataset_spec.circuit,
             n_frames=dataset_spec.n_frames,
             min_len=dataset_spec.min_len,

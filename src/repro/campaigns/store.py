@@ -168,8 +168,17 @@ class CampaignStore:
         doc = self._doc(spec)
         doc["spec"] = spec.to_dict()
         doc["snapshots"][str(result.n_injections)] = result.to_payload()
+        # A partial checkpoint whose target is *at or below* the snapshot
+        # just written is superseded: the snapshot already contains every
+        # draw the checkpointed run was working toward, and `load_partial`
+        # would otherwise re-serve the stale counters to a later run with
+        # that smaller budget (double-counting its resumed buckets).
         partial = doc.get("partial")
-        if partial is not None and partial.get("target") == result.n_injections:
+        if (
+            partial is not None
+            and isinstance(partial.get("target"), int)
+            and partial["target"] <= result.n_injections
+        ):
             doc["partial"] = None
         self._write(spec, doc)
 
@@ -208,24 +217,33 @@ class CampaignStore:
         # done-bucket filter and double-count resumed work.
         if not all(type(c) is int for c in done_cycles):
             return None
-        # The accumulator's ff records must be [inj, fail, latency] triples of
-        # numbers and its engine-level metrics numeric; anything else means a
-        # damaged checkpoint — drop it and let the engine recompute rather
-        # than resume into a crash.
+        if not self._valid_accum(accum):
+            return None
+        return set(done_cycles), accum
+
+    @staticmethod
+    def _valid_accum(accum: object) -> bool:
+        """Shape-check an accumulator payload (shared by both checkpoint
+        kinds).  The ff records must be [inj, fail, latency] triples of
+        numbers and the engine-level metrics numeric; anything else means a
+        damaged checkpoint — drop it and let the engine recompute rather
+        than resume into a crash."""
+        if not isinstance(accum, dict):
+            return False
         ff = accum.get("ff")
         if not isinstance(ff, dict):
-            return None
+            return False
         for record in ff.values():
             if (
                 not isinstance(record, list)
                 or len(record) != 3
                 or not all(isinstance(v, (int, float)) for v in record)
             ):
-                return None
+                return False
         for key in ("n_forward_runs", "total_lane_cycles", "wall_seconds"):
             if key in accum and not isinstance(accum[key], (int, float)):
-                return None
-        return set(done_cycles), accum
+                return False
+        return True
 
     def save_partial(
         self,
@@ -250,6 +268,120 @@ class CampaignStore:
         if doc is not None and doc.get("partial") is not None:
             doc["partial"] = None
             self._write(spec, doc)
+
+    # ---------------------------------------------------- policy snapshots
+
+    def load_policy_snapshot(
+        self, spec: CampaignSpec, signature: str
+    ) -> Optional[Tuple[CampaignResult, Dict]]:
+        """The stored result of an adaptive-policy run, if any.
+
+        Policy runs realize *different* per-flip-flop injection counts than
+        the flat protocol at the same nominal budget, so their snapshots are
+        namespaced by :func:`repro.campaigns.policy.policy_signature` instead
+        of the budget key — the family's numeric snapshots stay exactly what
+        a flat run would produce.  Returns ``(result, meta)`` where *meta* is
+        the policy bookkeeping stored alongside the payload (realized
+        margins, injections saved, rounds).
+        """
+        found = self._load_policy_snapshot(spec, signature)
+        _record_lookup("policy", found is not None)
+        return found
+
+    def _load_policy_snapshot(
+        self, spec: CampaignSpec, signature: str
+    ) -> Optional[Tuple[CampaignResult, Dict]]:
+        doc = self._read(spec)
+        if doc is None:
+            return None
+        payload = doc["snapshots"].get(f"policy:{signature}")
+        if not isinstance(payload, dict):
+            return None
+        try:
+            result = CampaignResult.from_payload(payload)
+        except (KeyError, ValueError, TypeError, AttributeError, IndexError):
+            return None
+        meta = payload.get("policy")
+        return result, dict(meta) if isinstance(meta, dict) else {}
+
+    def save_policy_snapshot(
+        self,
+        spec: CampaignSpec,
+        signature: str,
+        result: CampaignResult,
+        meta: Dict,
+    ) -> None:
+        get_telemetry().registry.counter("store.snapshot_writes").inc()
+        doc = self._doc(spec)
+        doc["spec"] = spec.to_dict()
+        payload = result.to_payload()
+        payload["policy"] = dict(meta)
+        doc["snapshots"][f"policy:{signature}"] = payload
+        # The finished snapshot supersedes any round checkpoint of the same
+        # policy configuration.
+        partial = doc.get("policy_partial")
+        if isinstance(partial, dict) and partial.get("signature") == signature:
+            doc["policy_partial"] = None
+        self._write(spec, doc)
+
+    def load_policy_partial(
+        self, spec: CampaignSpec, signature: str
+    ) -> Optional[Tuple[Dict[str, List[int]], Dict]]:
+        """Round checkpoint of an interrupted adaptive run, if one matches.
+
+        Returns ``(tallies, accum)``: the per-flip-flop ``[n, k, consumed]``
+        draw-stream tallies (executed draws, failures, stream position) and
+        the accumulated engine counters, both in the same shape the
+        sequential driver checkpoints after every round.
+        """
+        checkpoint = self._load_policy_partial(spec, signature)
+        _record_lookup("policy_partial", checkpoint is not None)
+        return checkpoint
+
+    def _load_policy_partial(
+        self, spec: CampaignSpec, signature: str
+    ) -> Optional[Tuple[Dict[str, List[int]], Dict]]:
+        doc = self._read(spec)
+        if doc is None:
+            return None
+        partial = doc.get("policy_partial")
+        if not isinstance(partial, dict) or partial.get("signature") != signature:
+            return None
+        tallies = partial.get("tallies")
+        accum = partial.get("accum")
+        if not isinstance(tallies, dict) or not self._valid_accum(accum):
+            return None
+        # Tallies must be [n, k, consumed] int triples with k <= n <= consumed
+        # — anything else is a damaged checkpoint that would corrupt the
+        # policy's allocation arithmetic.
+        for record in tallies.values():
+            if (
+                not isinstance(record, list)
+                or len(record) != 3
+                or not all(type(v) is int for v in record)
+                or not 0 <= record[1] <= record[0] <= record[2]
+            ):
+                return None
+        return (
+            {name: list(record) for name, record in tallies.items()},
+            accum,
+        )
+
+    def save_policy_partial(
+        self,
+        spec: CampaignSpec,
+        signature: str,
+        tallies: Dict[str, List[int]],
+        accum: Dict,
+    ) -> None:
+        get_telemetry().registry.counter("store.checkpoint_writes").inc()
+        doc = self._doc(spec)
+        doc["policy_partial"] = {
+            "signature": signature,
+            "tallies": {name: list(record) for name, record in tallies.items()},
+            "accum": accum,
+        }
+        self._write(spec, doc)
 
     # ----------------------------------------------------------- inventory
 

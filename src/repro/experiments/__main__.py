@@ -47,7 +47,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from ..campaigns import CampaignEngine, CampaignSpec
+from ..campaigns import (
+    DEFAULT_TARGET_MARGIN,
+    SAMPLING_POLICIES,
+    CampaignEngine,
+    CampaignSpec,
+)
 from ..faultinjection.scheduler import EXECUTION_SCHEDULERS
 from ..data import DATASET_PRESETS, default_cache_dir
 from ..obs import JsonlSink, LiveProgressSink, Telemetry, get_telemetry, use_telemetry
@@ -87,10 +92,18 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
         n_injections=args.injections,
         backend=args.backend,
         scheduler=args.scheduler,
+        policy=args.policy,
+        target_margin=args.target_margin,
+    )
+    policy_label = (
+        f"{spec.policy}(margin={spec.target_margin})"
+        if spec.policy == "sequential"
+        else spec.policy
     )
     print(
         f"=== campaign === circuit={spec.circuit} injections={spec.n_injections} "
-        f"backend={spec.backend} scheduler={spec.scheduler} jobs={args.jobs} "
+        f"backend={spec.backend} scheduler={spec.scheduler} "
+        f"policy={policy_label} jobs={args.jobs} "
         f"cache={cache_dir}",
         flush=True,
     )
@@ -141,6 +154,15 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
             f"resumed {report.resumed_buckets} buckets, "
             f"executed {report.executed_forward_runs} forward runs "
             f"across {report.n_shards} shards"
+        )
+    if spec.policy == "sequential" and engine.last_policy_meta:
+        meta = engine.last_policy_meta
+        print(
+            f"policy: {meta['rounds']} rounds, "
+            f"{meta['total_injections']}/{meta['flat_injections']} injections "
+            f"({meta['injections_saved']} saved), realized margin "
+            f"max {meta['realized_margin_max']:.4f} / "
+            f"mean {meta['realized_margin_mean']:.4f}"
         )
     print(f"mean FDR: {result.mean_fdr():.4f}, wall: {report.wall_seconds:.2f}s")
     if profiler is not None:
@@ -269,6 +291,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "slot (results are scheduler-invariant; see docs/performance.md)",
     )
     parser.add_argument(
+        "--policy",
+        default="flat",
+        choices=list(SAMPLING_POLICIES),
+        help="campaign sampling policy: 'flat' spends the full budget on "
+        "every flip-flop (the paper protocol), 'sequential' retires "
+        "flip-flops once their Wilson interval half-width falls under "
+        "--target-margin and reallocates the freed budget (see "
+        "docs/campaigns.md)",
+    )
+    parser.add_argument(
+        "--target-margin",
+        type=float,
+        default=DEFAULT_TARGET_MARGIN,
+        help="sequential policy only: retire a flip-flop once its 95%% "
+        "Wilson interval half-width is at or under this value "
+        f"(default: {DEFAULT_TARGET_MARGIN}, the paper's margin of error; "
+        "0 disables early stopping — fixed-seed equivalence mode)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="campaign command only: wrap the run in cProfile and print the "
@@ -336,6 +377,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--injections must be >= 1")
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
+    if not 0.0 <= args.target_margin < 1.0:
+        parser.error("--target-margin must be in [0, 1)")
 
     cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
     out_dir = args.out
@@ -358,6 +401,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 jobs=args.jobs,
                 backend=args.backend,
                 scheduler=args.scheduler,
+                policy=args.policy,
             )
             return dispatch(args, cache_dir, out_dir)
     finally:

@@ -59,9 +59,15 @@ class FlipFlopResult:
 
     @property
     def fdr(self) -> float:
-        """Functional De-Rating factor: failures / injections."""
+        """Functional De-Rating factor: failures / injections.
+
+        ``nan`` when the flip-flop received no injections — an unmeasured
+        flip-flop has *unknown* de-rating, not a perfect 0.0 (which would
+        silently rank it as the most reliable state bit in every report
+        and train regressors on fabricated labels).
+        """
         if self.n_injections == 0:
-            return 0.0
+            return float("nan")
         return self.n_failures / self.n_injections
 
     @property
@@ -101,9 +107,16 @@ class CampaignResult:
         return [self.results[name].fdr for name in ff_order]
 
     def mean_fdr(self) -> float:
-        if not self.results:
-            return 0.0
-        return sum(r.fdr for r in self.results.values()) / len(self.results)
+        """Mean FDR over the flip-flops that were actually measured.
+
+        Flip-flops with zero injections contribute ``nan`` individually
+        (see :attr:`FlipFlopResult.fdr`) and are excluded here; ``nan`` is
+        returned only when *nothing* was measured.
+        """
+        measured = [r.fdr for r in self.results.values() if r.n_injections > 0]
+        if not measured:
+            return float("nan")
+        return sum(measured) / len(measured)
 
     def to_payload(self) -> Dict[str, object]:
         """JSON-serializable dict form (shared by :meth:`to_json` and the

@@ -29,9 +29,15 @@ class FdrEstimate:
 
     @property
     def fdr(self) -> float:
-        """Point estimate: failures / injections."""
+        """Point estimate: failures / injections.
+
+        ``nan`` when no injections were run: "no evidence" must not be
+        conflated with "never fails" (0.0 is a *strong* claim at the
+        bottom of the FDR range).  Consumers that aggregate estimates
+        filter non-finite values explicitly.
+        """
         if self.n_injections == 0:
-            return 0.0
+            return float("nan")
         return self.n_failures / self.n_injections
 
     @property
@@ -92,14 +98,26 @@ def required_sample_size(
 
     With ``margin=0.075`` and 95 % confidence, the infinite-universe size is
     ≈171 — the paper's 170 injections per flip-flop.
+
+    The result is always in ``[1, population]``: a one-element universe
+    needs exactly its one sample regardless of margin, a sample can never
+    exceed the universe it is drawn from (guards float roundoff in the
+    finite-population correction), and *p* arbitrarily close to 0 or 1
+    still requires at least one observation.  ``p`` itself must lie
+    strictly inside ``(0, 1)`` — at the endpoints the prior asserts the
+    outcome and the formula degenerates to a division by zero.
     """
     if not 0.0 < margin < 1.0:
         raise ValueError("margin must be in (0, 1)")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
     z = float(stats.norm.ppf(0.5 + confidence / 2.0))
     base = z * z * p * (1 - p) / (margin * margin)
     if population is None:
-        return math.ceil(base)
+        return max(1, math.ceil(base))
     if population <= 0:
         raise ValueError("population must be positive")
     n = population / (1 + margin * margin * (population - 1) / (z * z * p * (1 - p)))
-    return math.ceil(n)
+    return min(population, max(1, math.ceil(n)))

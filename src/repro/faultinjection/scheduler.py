@@ -135,6 +135,7 @@ class SchedulerStats:
     gated_cycles: int = 0
     partitions_evaluated: int = 0
     partitions_skipped: int = 0
+    policy_skipped: int = 0
 
     def lane_occupancy(self) -> float:
         """Fraction of allocated lane-slots that carried a live injection.
@@ -164,6 +165,7 @@ class SchedulerStats:
             "gated_cycles",
             "partitions_evaluated",
             "partitions_skipped",
+            "policy_skipped",
         ):
             value = getattr(self, name)
             if value:
@@ -183,10 +185,14 @@ class ScheduledOutcome:
     ``verdicts[key]`` is ``(failed, latency)`` for the request with that
     key; *latency* is ``None`` unless the lane failed.  Bit-identical to
     running each request through :meth:`FaultInjector.run_batch`.
+
+    ``skipped`` lists the keys of requests an ``admit`` gate rejected —
+    those were never simulated and their verdict slots are meaningless.
     """
 
     verdicts: List[Tuple[bool, Optional[int]]]
     stats: SchedulerStats = field(default_factory=SchedulerStats)
+    skipped: List[int] = field(default_factory=list)
 
     def failed_count(self) -> int:
         return sum(1 for failed, _lat in self.verdicts if failed)
@@ -401,6 +407,8 @@ class AdaptiveScheduler:
         injections: Sequence[Tuple[int, int]],
         horizon: Optional[int] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        admit: Optional[Callable[[InjectionRequest], bool]] = None,
+        on_verdict: Optional[Callable[[InjectionRequest, bool], None]] = None,
     ) -> ScheduledOutcome:
         """Simulate every ``(cycle, ff_index)`` injection; return verdicts.
 
@@ -409,6 +417,17 @@ class AdaptiveScheduler:
         :meth:`FaultInjector.run_batch` lane per injection.  *progress* is
         called as ``progress(completed_injections, total)`` after every
         scheduler pass.
+
+        *admit* and *on_verdict* are the refill queue's online policy
+        hooks (see :class:`repro.campaigns.policy.ShardGate`): before a
+        pending request is activated into a freed lane, ``admit(request)``
+        may reject it — the request is recorded in
+        :attr:`ScheduledOutcome.skipped` and never simulated — and
+        ``on_verdict(request, failed)`` fires as each lane retires, so the
+        gate sees results in execution order.  The simulated requests'
+        verdicts stay bit-identical to an ungated run.  The fused
+        backend's generated kernel does not support the hooks (they are
+        ignored there; campaign-level policies still stop between rounds).
         """
         golden = self.injector.golden
         n_cycles = golden.n_cycles
@@ -427,13 +446,16 @@ class AdaptiveScheduler:
             return ScheduledOutcome(verdicts=verdicts, stats=self.stats)
 
         total = len(requests)
+        skipped: List[int] = []
         if self.injector.backend == "fused":
             self.stats.peak_width = min(self.max_lanes, total)
             self._run_fused(requests, verdicts, horizon, progress)
         else:
             pending = requests
             while pending:
-                pending = self._run_pass(pending, verdicts, horizon)
+                pending = self._run_pass(
+                    pending, verdicts, horizon, admit, on_verdict, skipped
+                )
                 self.stats.n_passes += 1
                 if progress is not None:
                     progress(total - len(pending), total)
@@ -444,7 +466,7 @@ class AdaptiveScheduler:
         registry.counter(f"sim.{self.injector.backend}.lane_cycles").inc(
             self.stats.lane_cycles
         )
-        return ScheduledOutcome(verdicts=verdicts, stats=self.stats)
+        return ScheduledOutcome(verdicts=verdicts, stats=self.stats, skipped=skipped)
 
     # ---------------------------------------------------------- fused path
 
@@ -520,6 +542,9 @@ class AdaptiveScheduler:
         pending: List[InjectionRequest],
         verdicts: List[Tuple[bool, Optional[int]]],
         horizon: Optional[int],
+        admit: Optional[Callable[[InjectionRequest], bool]] = None,
+        on_verdict: Optional[Callable[[InjectionRequest, bool], None]] = None,
+        skipped: Optional[List[int]] = None,
     ) -> List[InjectionRequest]:
         injector = self.injector
         sim = injector.sim
@@ -577,6 +602,8 @@ class AdaptiveScheduler:
                     lane_failed,
                     lane_lat[lane] if lane_failed else None,
                 )
+                if on_verdict is not None:
+                    on_verdict(request, lane_failed)
                 free.append(lane)
             active_int &= ~retire_bits
             failed_int &= ~retire_bits
@@ -601,6 +628,15 @@ class AdaptiveScheduler:
             activated = 0
             act_requests: List[Tuple[InjectionRequest, int]] = []
             while ptr < n_pending and pending[ptr].cycle == c:
+                # The policy gate is consulted before a lane is committed:
+                # a rejected request costs nothing (no lane, no simulation)
+                # and is recorded as skipped rather than deferred.
+                if admit is not None and not admit(pending[ptr]):
+                    if skipped is not None:
+                        skipped.append(pending[ptr].key)
+                    stats.policy_skipped += 1
+                    ptr += 1
+                    continue
                 if not free:
                     break
                 request = pending[ptr]

@@ -93,11 +93,17 @@ def build_dataset(
     """Assemble the labelled dataset from features and campaign FDR results.
 
     Rows are restricted to flip-flops present in the campaign (a training
-    subset campaign yields a training subset dataset).
+    subset campaign yields a training subset dataset) *and* actually
+    measured by it — a flip-flop with zero injections has an undefined FDR
+    (``nan``), which must not become a training label.
     """
     extractor = FeatureExtractor(netlist, engine=engine)
     features = extractor.extract(golden)
-    ff_names = [name for name in extractor.ff_names if name in campaign.results]
+    ff_names = [
+        name
+        for name in extractor.ff_names
+        if name in campaign.results and campaign.results[name].n_injections > 0
+    ]
     X = np.array(
         [[features[name][col] for col in ALL_FEATURES] for name in ff_names],
         dtype=np.float64,

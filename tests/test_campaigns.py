@@ -263,6 +263,64 @@ def test_interrupted_run_resumes_from_checkpoint(tmp_path):
     assert result_key(result) == result_key(fresh)
 
 
+def test_snapshot_clears_any_superseded_partial(tmp_path):
+    """A snapshot supersedes every checkpoint targeting <= its budget.
+
+    Historically ``save_snapshot`` only cleared a partial whose target
+    *equaled* the snapshot budget, so a checkpoint from an interrupted
+    smaller-budget run survived a successful bigger run and was re-served
+    to the next run of that smaller budget.
+    """
+    spec8 = tiny_spec(n_injections=8)
+    store = CampaignStore(tmp_path)
+    accum = {"ff": {"a": [2, 1, 3]}, "n_forward_runs": 1}
+
+    # Partial targeting 8, then a 12-injection snapshot lands: cleared.
+    store.save_partial(spec8, 0, 8, {3, 4}, accum)
+    assert store.load_partial(spec8, 0, 8) is not None
+    bigger = run_campaign(spec8.with_injections(12))
+    store.save_snapshot(spec8, bigger)
+    assert store.load_partial(spec8, 0, 8) is None
+
+    # Partial targeting *beyond* the snapshot stays: its delta is still
+    # unfinished work the snapshot does not contain.
+    store.save_partial(spec8, 0, 20, {3, 4}, accum)
+    store.save_snapshot(spec8, bigger)
+    assert store.load_partial(spec8, 0, 20) is not None
+
+
+def test_interrupted_topup_roundtrip(tmp_path):
+    """Interrupt a top-up, land a bigger snapshot, re-run the top-up."""
+    small = tiny_spec(n_injections=6)
+    CampaignEngine(small, cache_dir=tmp_path).run()
+
+    class Interrupted(Exception):
+        pass
+
+    def bomb(done, total):
+        raise Interrupted
+
+    topup = CampaignEngine(
+        small.with_injections(10),
+        cache_dir=tmp_path,
+        progress=bomb,
+        progress_interval=0.0,
+    )
+    with pytest.raises(Interrupted):
+        topup.run()
+    store = CampaignStore(tmp_path / "campaigns")
+    assert store.load_partial(small, 6, 10) is not None
+
+    # A full 12-injection run supersedes the interrupted 6->10 checkpoint.
+    big = CampaignEngine(small.with_injections(12), cache_dir=tmp_path).run()
+    assert store.load_partial(small, 6, 10) is None
+
+    # The re-run 6->10 top-up recomputes cleanly and matches a fresh run.
+    redo = CampaignEngine(small.with_injections(10), cache_dir=tmp_path).run()
+    assert result_key(redo) == result_key(run_campaign(small.with_injections(10)))
+    assert result_key(big) == result_key(run_campaign(small.with_injections(12)))
+
+
 def test_store_family_and_cache_keys():
     stream6 = tiny_spec(n_injections=6)
     stream12 = stream6.with_injections(12)

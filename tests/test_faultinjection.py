@@ -32,7 +32,10 @@ def test_fdr_estimate_basics():
     low, high = est.interval
     assert low < 0.5 < high
     assert est.margin < 0.08
-    assert FdrEstimate(0, 0).fdr == 0.0
+    # Zero injections means *unknown* FDR, not a claim of perfect
+    # reliability.
+    assert math.isnan(FdrEstimate(0, 0).fdr)
+    assert math.isnan(FlipFlopResult("ff", n_injections=0).fdr)
 
 
 def test_wilson_interval_properties():
@@ -55,6 +58,38 @@ def test_required_sample_size_matches_paper():
         required_sample_size(None, margin=0.0)
     with pytest.raises(ValueError):
         required_sample_size(0)
+
+
+def test_required_sample_size_edge_cases():
+    # A one-element universe needs exactly its one sample, whatever the
+    # margin or prior.
+    assert required_sample_size(1, margin=0.075) == 1
+    assert required_sample_size(1, margin=0.001, p=0.999) == 1
+    # The sample can never exceed the finite universe it is drawn from.
+    for population in (1, 2, 10, 170, 1054):
+        n = required_sample_size(population, margin=0.001)
+        assert 1 <= n <= population
+    # Priors near the endpoints shrink the variance term but still require
+    # at least one observation.
+    assert required_sample_size(None, margin=0.075, p=1e-9) >= 1
+    assert required_sample_size(1000, margin=0.075, p=1 - 1e-9) >= 1
+    # Degenerate priors assert the outcome — rejected, not divided by.
+    for bad_p in (0.0, 1.0, -0.1, 1.1):
+        with pytest.raises(ValueError):
+            required_sample_size(1000, p=bad_p)
+    with pytest.raises(ValueError):
+        required_sample_size(None, confidence=1.0)
+
+
+def test_mean_fdr_ignores_unmeasured_flip_flops():
+    result = CampaignResult(circuit="c", n_injections=10, seed=0)
+    result.results["a"] = FlipFlopResult("a", n_injections=10, n_failures=5)
+    result.results["b"] = FlipFlopResult("b", n_injections=0, n_failures=0)
+    assert result.mean_fdr() == pytest.approx(0.5)
+    empty = CampaignResult(circuit="c", n_injections=10, seed=0)
+    empty.results["a"] = FlipFlopResult("a")
+    assert math.isnan(empty.mean_fdr())
+    assert math.isnan(CampaignResult(circuit="c", n_injections=10, seed=0).mean_fdr())
 
 
 def test_seu_fault_repr():

@@ -1,0 +1,405 @@
+"""Sampling-policy tests: allocation, gating, store namespacing, and the
+fixed-seed equivalence contract.
+
+The load-bearing guarantees:
+
+* ``policy="sequential"`` with ``target_margin=0.0`` never retires anything
+  and reproduces the flat campaign's per-flip-flop counters **bit for
+  bit** — on every circuit in the library (draws are prefix-stable per
+  flip-flop, so rounds and sharding cannot change which cycles are
+  injected);
+* a real target margin stops early: fewer injections than flat at the same
+  nominal budget, every retired flip-flop's realized Wilson half-width at
+  or under the target;
+* allocation never schedules a draw-stream index twice, even when in-shard
+  gating skips scheduled draws (``consumed`` bookkeeping);
+* policy results live in the store under a policy-signature namespace and
+  never collide with the flat snapshots of the same campaign family.
+"""
+
+import math
+
+import pytest
+
+from repro.campaigns import (
+    CampaignEngine,
+    CampaignSpec,
+    CampaignStore,
+    FlatPolicy,
+    SequentialWilsonPolicy,
+    ShardGate,
+    make_policy,
+    policy_signature,
+    run_campaign,
+)
+from repro.campaigns.policy import MAX_BUDGET_FACTOR, interval_margin
+from repro.data import circuit_preset
+from repro.circuits.library import LIBRARY_CIRCUITS
+
+TINY = dict(
+    circuit="xgmac_tiny",
+    n_frames=4,
+    min_len=2,
+    max_len=3,
+    gap=12,
+    workload_seed=7,
+)
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    params = dict(TINY, n_injections=8, seed=5, schedule="stream")
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+def result_key(result):
+    return {
+        name: (r.n_injections, r.n_failures, r.latency_sum)
+        for name, r in result.results.items()
+    }
+
+
+# ------------------------------------------------------------- allocation
+
+
+def test_flat_policy_allocates_missing_draws_from_consumed():
+    policy = FlatPolicy(nominal=10)
+    tallies = {"a": [0, 0, 0], "b": [4, 1, 6], "c": [10, 3, 10]}
+    allocation = policy.allocate(tallies, window_len=100)
+    # 'b' executed 4 but consumed 6 stream indices: the next draws start at
+    # 6 so no index is ever scheduled twice.
+    assert allocation == {"a": (0, 10), "b": (6, 12)}
+    assert policy.retired(10, 3)
+    assert not policy.retired(9, 0)
+
+
+def test_sequential_policy_retires_on_margin():
+    policy = SequentialWilsonPolicy(nominal=100, target_margin=0.075)
+    # Below the minimum sample nothing retires, however tight the tally.
+    assert not policy.retired(5, 0)
+    # A clean 170/0 run is far inside the margin.
+    assert policy.retired(170, 0)
+    # A 50/50 split at n=170 sits just under 0.075.
+    assert policy.retired(170, 85) == (interval_margin(170, 85) <= 0.075)
+    # Margin 0 disables stopping entirely (equivalence mode).
+    never = SequentialWilsonPolicy(nominal=100, target_margin=0.0)
+    assert not never.retired(10_000, 0)
+
+
+def test_sequential_allocation_respects_budget_and_caps():
+    policy = SequentialWilsonPolicy(
+        nominal=20, target_margin=0.075, min_injections=4, round_size=8
+    )
+    window = 1000
+    # Round 1: everyone below nominal gets a round_size chunk.
+    tallies = {name: [0, 0, 0] for name in ("a", "b", "c")}
+    allocation = policy.allocate(tallies, window)
+    assert allocation == {"a": (0, 8), "b": (0, 8), "c": (0, 8)}
+
+    # A retired flip-flop (tight interval) gets nothing more; an open one
+    # keeps drawing toward the nominal budget.
+    tallies = {"a": [2000, 0, 2000], "b": [8, 4, 8]}
+    allocation = policy.allocate(tallies, window)
+    assert "a" not in allocation
+    assert allocation["b"] == (8, 16)
+
+
+def test_sequential_reallocates_freed_budget_to_widest_interval():
+    policy = SequentialWilsonPolicy(
+        nominal=10, target_margin=0.25, min_injections=2, round_size=4
+    )
+    window = 1000
+    # 'a' retired at 4 draws (margin(4,0) ~ 0.245 <= 0.25), freeing 6 of
+    # its nominal 10.  'b' (margin ~ 0.263) and 'c' (~ 0.260) are both at
+    # nominal and still wide: the pool goes widest-first, so 'b' gets a
+    # full round chunk and 'c' only what remains of the freed budget.
+    tallies = {"a": [4, 0, 4], "b": [10, 5, 10], "c": [10, 4, 10]}
+    assert policy.retired(4, 0)
+    assert interval_margin(10, 5) > interval_margin(10, 4) > 0.25
+    allocation = policy.allocate(tallies, window)
+    assert "a" not in allocation
+    assert allocation["b"] == (10, 14)  # round_size chunk
+    assert allocation["c"] == (10, 12)  # pool = 30 - 24 - 4 = 2 left
+    # The freed budget is conserved: grants never exceed the family pool.
+    granted = sum(stop - start for start, stop in allocation.values())
+    assert granted == 10 * len(tallies) - sum(rec[0] for rec in tallies.values())
+
+
+def test_sequential_allocation_never_exceeds_cap_or_window():
+    policy = SequentialWilsonPolicy(
+        nominal=100, target_margin=0.075, min_injections=2, round_size=200
+    )
+    # Draws are sampled without replacement: a 25-cycle window caps every
+    # stream at 25 indices no matter how generous the round size.
+    tallies = {"a": [40, 0, 40], "b": [24, 12, 24], "c": [0, 0, 0]}
+    assert policy.retired(40, 0)  # margin(40, 0) ~ 0.044
+    allocation = policy.allocate(tallies, window_len=25)
+    assert "a" not in allocation  # retired
+    assert allocation["b"] == (24, 25)  # one stream index left
+    assert allocation["c"] == (0, 25)  # whole window, not round_size
+    # And in a huge window the MAX_BUDGET_FACTOR ceiling bites instead.
+    tallies = {"a": [400, 200, 400], "b": [0, 0, 0]}
+    allocation = policy.allocate(tallies, window_len=10_000)
+    assert "a" not in allocation  # at MAX_BUDGET_FACTOR * nominal already
+    assert allocation["b"] == (0, 100)
+    assert MAX_BUDGET_FACTOR == 4
+
+
+def test_allocation_ranges_never_overlap_consumed_indices():
+    """Whatever the tallies, granted ranges start at `consumed`."""
+    policy = SequentialWilsonPolicy(
+        nominal=16, target_margin=0.2, min_injections=4, round_size=8
+    )
+    tallies = {
+        "a": [4, 1, 9],  # 5 draws were skipped in-shard
+        "b": [8, 8, 8],
+        "c": [0, 0, 0],
+    }
+    for name, (start, _stop) in policy.allocate(tallies, 500).items():
+        assert start == tallies[name][2]
+
+
+def test_shard_gate_skips_retired_and_counts():
+    policy = SequentialWilsonPolicy(nominal=10, target_margin=0.3, min_injections=2)
+    gate = ShardGate(policy, {"a": [0, 0, 0], "b": [5000, 0, 5000]})
+    # 'b' is already pinned at 0: skipped immediately.
+    assert not gate.admit("b")
+    assert gate.admit("a")
+    # Verdicts tighten the shard-local view until 'a' retires too.
+    for _ in range(40):
+        gate.record("a", failed=False)
+    assert not gate.admit("a")
+    assert gate.n_skipped() == 2
+    assert gate.skipped == {"a": 1, "b": 1}
+
+
+# ------------------------------------------------------- spec & signatures
+
+
+def test_spec_validates_policy_fields():
+    with pytest.raises(ValueError, match="unknown policy"):
+        tiny_spec(policy="bogus")
+    with pytest.raises(ValueError, match="target_margin"):
+        tiny_spec(target_margin=1.5)
+    with pytest.raises(ValueError, match="requires the prefix-stable"):
+        tiny_spec(schedule="legacy", policy="sequential")
+
+
+def test_policy_excluded_from_cache_identity():
+    flat = tiny_spec()
+    seq = tiny_spec(policy="sequential", target_margin=0.1)
+    assert flat.cache_key() == seq.cache_key()
+    assert flat.family_key() == seq.family_key()
+    # ... but the policy signature separates their stored results.
+    assert policy_signature(flat) != policy_signature(seq)
+    assert policy_signature(seq) != policy_signature(
+        tiny_spec(policy="sequential", target_margin=0.2)
+    )
+    assert isinstance(make_policy(flat), FlatPolicy)
+    assert isinstance(make_policy(seq), SequentialWilsonPolicy)
+
+
+# ------------------------------------------------------------ store layer
+
+
+def test_policy_snapshots_are_namespaced(tmp_path):
+    spec = tiny_spec(policy="sequential", target_margin=0.2)
+    store = CampaignStore(tmp_path)
+    signature = policy_signature(spec)
+    result = run_campaign(tiny_spec())  # any result payload will do
+    store.save_policy_snapshot(spec, signature, result, {"rounds": 3})
+
+    loaded = store.load_policy_snapshot(spec, signature)
+    assert loaded is not None
+    restored, meta = loaded
+    assert result_key(restored) == result_key(result)
+    assert meta == {"rounds": 3}
+    # Numeric snapshot inventory is untouched by policy snapshots.
+    assert store.stored_budgets(spec) == []
+    assert store.load_exact(spec) is None
+    assert store.best_snapshot(spec) is None
+    # A different signature is a different namespace.
+    other = policy_signature(tiny_spec(policy="sequential", target_margin=0.05))
+    assert store.load_policy_snapshot(spec, other) is None
+
+
+def test_policy_partial_round_trip_and_validation(tmp_path):
+    spec = tiny_spec(policy="sequential")
+    store = CampaignStore(tmp_path)
+    signature = policy_signature(spec)
+    tallies = {"a": [4, 1, 6], "b": [0, 0, 0]}
+    accum = {"ff": {"a": [4, 1, 12]}, "n_forward_runs": 2}
+    store.save_policy_partial(spec, signature, tallies, accum)
+    loaded = store.load_policy_partial(spec, signature)
+    assert loaded is not None
+    assert loaded[0] == tallies
+    assert loaded[1]["n_forward_runs"] == 2
+    # Wrong signature: no checkpoint.
+    assert store.load_policy_partial(spec, "deadbeef") is None
+    # Damaged tallies (violating k <= n <= consumed) are rejected.
+    store.save_policy_partial(spec, signature, {"a": [4, 9, 6]}, accum)
+    assert store.load_policy_partial(spec, signature) is None
+    store.save_policy_partial(spec, signature, {"a": [7, 1, 6]}, accum)
+    assert store.load_policy_partial(spec, signature) is None
+    # A finished snapshot clears its own checkpoint.
+    store.save_policy_partial(spec, signature, tallies, accum)
+    store.save_policy_snapshot(spec, signature, run_campaign(tiny_spec()), {})
+    assert store.load_policy_partial(spec, signature) is None
+
+
+# ------------------------------------------------- fixed-seed equivalence
+
+
+@pytest.mark.parametrize("circuit", LIBRARY_CIRCUITS)
+def test_equivalence_mode_matches_flat_on_library(circuit):
+    """target_margin=0 sequential == flat, bit for bit, on every circuit."""
+    dataset_spec = circuit_preset(circuit, "tiny")
+    flat_spec = CampaignSpec.from_dataset_spec(
+        dataset_spec, schedule="stream", n_injections=8
+    )
+    seq_spec = CampaignSpec.from_dataset_spec(
+        dataset_spec,
+        schedule="stream",
+        n_injections=8,
+        policy="sequential",
+        target_margin=0.0,
+    )
+    assert result_key(run_campaign(flat_spec)) == result_key(run_campaign(seq_spec))
+
+
+def test_equivalence_mode_matches_flat_on_mac_parallel():
+    """The equivalence holds through the multiprocessing executor too."""
+    flat = run_campaign(tiny_spec(n_injections=10))
+    seq = run_campaign(
+        tiny_spec(n_injections=10, policy="sequential", target_margin=0.0), jobs=2
+    )
+    assert result_key(flat) == result_key(seq)
+
+
+# ----------------------------------------------------------- engine driver
+
+
+def test_sequential_stops_early_and_meets_margin():
+    spec = tiny_spec(n_injections=60, target_margin=0.12, policy="sequential")
+    engine = CampaignEngine(spec)
+    result = engine.run()
+    meta = engine.last_policy_meta
+    policy = make_policy(spec)
+
+    flat_total = 60 * len(result.results)
+    total = sum(r.n_injections for r in result.results.values())
+    assert total < flat_total
+    assert meta["injections_saved"] == flat_total - total
+    assert meta["rounds"] == engine.last_report.rounds > 1
+
+    for record in result.results.values():
+        # Everyone gets the minimum sample ...
+        assert record.n_injections >= min(24, 60)
+        # ... and whoever stopped short of the nominal budget did so
+        # because the target margin was met.
+        if record.n_injections < 60:
+            assert (
+                interval_margin(record.n_injections, record.n_failures) <= 0.12
+            )
+
+
+def test_sequential_is_deterministic():
+    spec = tiny_spec(n_injections=40, target_margin=0.15, policy="sequential")
+    assert result_key(CampaignEngine(spec).run()) == result_key(
+        CampaignEngine(spec).run()
+    )
+
+
+def test_sequential_engine_store_round_trip(tmp_path):
+    spec = tiny_spec(n_injections=40, target_margin=0.15, policy="sequential")
+    first = CampaignEngine(spec, cache_dir=tmp_path)
+    result = first.run()
+    assert first.last_report.executed_forward_runs > 0
+
+    second = CampaignEngine(spec, cache_dir=tmp_path)
+    cached = second.run()
+    assert second.last_report.cache_hit
+    assert second.last_report.executed_forward_runs == 0
+    assert result_key(cached) == result_key(result)
+    assert second.last_policy_meta["rounds"] == first.last_policy_meta["rounds"]
+
+    # The realized per-ff injection counts are stored: reload and check.
+    store = CampaignStore(tmp_path / "campaigns")
+    loaded, meta = store.load_policy_snapshot(spec, policy_signature(spec))
+    assert result_key(loaded) == result_key(result)
+    assert meta["total_injections"] == sum(
+        r.n_injections for r in result.results.values()
+    )
+
+    # A flat run of the same family is unaffected by the policy snapshot.
+    flat = CampaignEngine(tiny_spec(n_injections=40), cache_dir=tmp_path)
+    flat_result = flat.run()
+    assert not flat.last_report.cache_hit
+    assert all(r.n_injections == 40 for r in flat_result.results.values())
+
+
+def test_sequential_seeds_from_flat_snapshot(tmp_path):
+    small = tiny_spec(n_injections=10)
+    CampaignEngine(small, cache_dir=tmp_path).run()
+
+    spec = tiny_spec(n_injections=40, target_margin=0.15, policy="sequential")
+    engine = CampaignEngine(spec, cache_dir=tmp_path)
+    result = engine.run()
+    assert engine.last_report.base_injections == 10
+    assert all(r.n_injections >= 10 for r in result.results.values())
+    # Seeding only changes where the draw streams start, not the outcome
+    # of a fresh run with identical rounds ... it may change round
+    # boundaries, so compare against the invariants instead: totals stay
+    # within the family budget.
+    assert sum(r.n_injections for r in result.results.values()) <= 40 * len(
+        result.results
+    ) + 4 * 40  # reallocation headroom is bounded
+
+
+def test_sequential_interrupt_resumes_from_policy_checkpoint(tmp_path):
+    spec = tiny_spec(n_injections=40, target_margin=0.15, policy="sequential")
+
+    class Interrupted(Exception):
+        pass
+
+    def bomb(done, total):
+        raise Interrupted
+
+    engine = CampaignEngine(
+        spec, cache_dir=tmp_path, progress=bomb, progress_interval=0.0
+    )
+    with pytest.raises(Interrupted):
+        engine.run()
+    store = CampaignStore(tmp_path / "campaigns")
+    checkpoint = store.load_policy_partial(spec, policy_signature(spec))
+    assert checkpoint is not None
+    tallies, _accum = checkpoint
+    assert any(rec[0] > 0 for rec in tallies.values())
+    for n, k, consumed in tallies.values():
+        assert 0 <= k <= n <= consumed
+
+    resumed = CampaignEngine(spec, cache_dir=tmp_path)
+    result = resumed.run()
+    assert not resumed.last_report.cache_hit
+    # The resumed run still satisfies the policy contract.
+    for record in result.results.values():
+        if record.n_injections < 40:
+            assert (
+                interval_margin(record.n_injections, record.n_failures) <= 0.15
+            )
+
+
+def test_sequential_records_observability_metrics():
+    from repro.obs import Telemetry, use_telemetry
+
+    spec = tiny_spec(n_injections=40, target_margin=0.15, policy="sequential")
+    with use_telemetry(Telemetry()) as telemetry:
+        CampaignEngine(spec).run()
+        snapshot = telemetry.registry.snapshot().to_payload()
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    histograms = snapshot["hists"]
+    assert counters["policy.rounds"] >= 1
+    assert counters["policy.injections_saved"] > 0
+    assert 0.0 < gauges["policy.realized_margin"]["max"] < 1.0
+    assert histograms["policy.stopping_time"]["count"] == 277  # one per ff

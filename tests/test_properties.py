@@ -143,6 +143,61 @@ def test_wilson_interval_contains_point_estimate(trials, successes):
     assert (high2 - low2) <= (high - low) + 1e-12
 
 
+@given(
+    trials=st.integers(1, 500),
+    successes=st.integers(0, 500),
+    scale=st.integers(2, 16),
+)
+@settings(max_examples=80, deadline=None)
+def test_wilson_interval_monotone_in_trials(trials, successes, scale):
+    """At a fixed observed proportion, the interval shrinks with trials."""
+    successes = min(successes, trials)
+    low, high = wilson_interval(successes, trials)
+    low_k, high_k = wilson_interval(successes * scale, trials * scale)
+    assert (high_k - low_k) <= (high - low) + 1e-12
+
+
+@given(
+    trials=st.integers(1, 500),
+    successes=st.integers(0, 500),
+    confidence=st.floats(0.5, 0.999),
+)
+@settings(max_examples=80, deadline=None)
+def test_wilson_interval_symmetric_under_success_failure_swap(
+    trials, successes, confidence
+):
+    """Counting failures instead of successes mirrors the interval at 1/2."""
+    successes = min(successes, trials)
+    low, high = wilson_interval(successes, trials, confidence)
+    swapped_low, swapped_high = wilson_interval(
+        trials - successes, trials, confidence
+    )
+    assert swapped_low == pytest.approx(1.0 - high, abs=1e-9)
+    assert swapped_high == pytest.approx(1.0 - low, abs=1e-9)
+
+
+@given(confidence=st.floats(0.5, 0.999))
+@settings(max_examples=30, deadline=None)
+def test_wilson_interval_trivial_at_zero_trials(confidence):
+    """No data -> the whole unit interval, at every confidence level."""
+    assert wilson_interval(0, 0, confidence) == (0.0, 1.0)
+
+
+@given(
+    population=st.integers(1, 100_000),
+    margin=st.floats(1e-4, 0.5),
+    p=st.floats(1e-6, 1.0 - 1e-6),
+)
+@settings(max_examples=80, deadline=None)
+def test_required_sample_size_stays_within_population(population, margin, p):
+    from repro.faultinjection import required_sample_size
+
+    n = required_sample_size(population, margin=margin, p=p)
+    assert 1 <= n <= population
+    # Infinite-universe sizing is an upper bound on every finite universe.
+    assert n <= max(population, required_sample_size(None, margin=margin, p=p))
+
+
 # ------------------------------------------------- result schema round trip
 
 
