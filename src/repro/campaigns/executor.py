@@ -135,6 +135,7 @@ class _ShardRunner:
             context.criterion,
             check_interval=spec.check_interval,
             backend=spec.backend,
+            fault_model=spec.fault_model,
         )
         self.scheduler: Optional[AdaptiveScheduler] = None
         if spec.scheduler == "adaptive":

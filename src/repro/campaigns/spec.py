@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..circuits.library import get_circuit
 from ..circuits.workloads import Workload, build_workload_for, default_criterion
+from ..faultinjection.faults import FaultModelError, canonical_fault_model, parse_fault_model
 from ..faultinjection.scheduler import EXECUTION_SCHEDULERS
 from .policy import DEFAULT_TARGET_MARGIN, SAMPLING_POLICIES
 from ..faultinjection.classify import (
@@ -82,6 +83,12 @@ class CampaignSpec:
     scheduler: str = "adaptive"
     policy: str = "flat"
     target_margin: float = DEFAULT_TARGET_MARGIN
+    #: Registered fault model applied at every drawn ``(cycle, ff)`` site
+    #: (see :mod:`repro.faultinjection.faults`).  Stored canonically
+    #: (sorted explicit parameters) so equivalent spellings share one
+    #: cache identity; the default ``"seu"`` is *excluded* from the
+    #: identity dict so pre-registry SEU store keys remain valid.
+    fault_model: str = "seu"
 
     def __post_init__(self) -> None:
         if self.schedule not in SCHEDULES:
@@ -110,6 +117,13 @@ class CampaignSpec:
             )
         if self.n_injections <= 0:
             raise ValueError("n_injections must be positive")
+        model = parse_fault_model(self.fault_model)
+        if not model.supports_ff_campaign:
+            raise FaultModelError(
+                f"fault model {model.name!r} does not target flip-flops and "
+                f"cannot drive a statistical campaign"
+            )
+        object.__setattr__(self, "fault_model", canonical_fault_model(model))
 
     # ------------------------------------------------------------- identity
 
@@ -150,6 +164,10 @@ class CampaignSpec:
         payload.pop("scheduler", None)
         payload.pop("policy", None)
         payload.pop("target_margin", None)
+        if payload.get("fault_model") == "seu":
+            # Single-bit SEUs are the pre-registry default; dropping the
+            # field keeps every cached SEU store key valid.
+            payload.pop("fault_model")
         return payload
 
     def cache_key(self) -> str:
@@ -183,6 +201,7 @@ class CampaignSpec:
         scheduler: str = "adaptive",
         policy: str = "flat",
         target_margin: float = DEFAULT_TARGET_MARGIN,
+        fault_model: Optional[str] = None,
     ) -> "CampaignSpec":
         """Mirror a :class:`repro.data.DatasetSpec` (duck-typed to avoid the
         circular import; ``repro.data`` builds on this package).
@@ -190,16 +209,21 @@ class CampaignSpec:
         A dataset spec's ``criterion`` of ``"auto"`` resolves here to the
         workload registry's default for the circuit, so the campaign spec —
         and with it the result-store content address — always names a
-        concrete criterion.
+        concrete criterion.  ``fault_model`` defaults to the dataset spec's
+        own (itself defaulting to ``"seu"``); pass an explicit value to
+        override it.
         """
         criterion = getattr(dataset_spec, "criterion", "auto")
         if criterion == "auto":
             criterion = default_criterion(dataset_spec.circuit)
+        if fault_model is None:
+            fault_model = getattr(dataset_spec, "fault_model", "seu")
         return cls(
             backend=backend,
             scheduler=scheduler,
             policy=policy,
             target_margin=target_margin,
+            fault_model=fault_model,
             circuit=dataset_spec.circuit,
             n_frames=dataset_spec.n_frames,
             min_len=dataset_spec.min_len,

@@ -40,6 +40,7 @@ from .campaigns.spec import CampaignSpec, build_context
 from .circuits.library import LIBRARY_CIRCUITS, get_circuit
 from .circuits.workloads import Workload, build_workload_for, default_criterion
 from .faultinjection.campaign import CampaignResult
+from .faultinjection.faults import canonical_fault_model
 from .features.dataset import Dataset
 from .features.extractor import build_dataset
 from .netlist.core import Netlist
@@ -58,7 +59,8 @@ __all__ = [
 
 #: Bumped whenever the cached-dataset layout or the feature semantics
 #: change; caches stamped with an older (or missing) version regenerate.
-DATASET_SCHEMA_VERSION = 2
+#: Version 3 added the ``fault_model`` provenance column (PR 8).
+DATASET_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -81,9 +83,18 @@ class DatasetSpec:
     n_injections: int = 60
     campaign_seed: int = 0
     criterion: str = "auto"
+    #: Registered fault model labelling the dataset (canonicalized by the
+    #: campaign spec; see :mod:`repro.faultinjection.faults`).  The default
+    #: ``"seu"`` is excluded from the cache key so pre-registry SEU dataset
+    #: caches keep their content addresses.
+    fault_model: str = "seu"
 
     def cache_key(self) -> str:
-        payload = json.dumps(asdict(self), sort_keys=True).encode()
+        payload_dict = asdict(self)
+        payload_dict["fault_model"] = canonical_fault_model(self.fault_model)
+        if payload_dict["fault_model"] == "seu":
+            payload_dict.pop("fault_model")
+        payload = json.dumps(payload_dict, sort_keys=True).encode()
         return hashlib.sha256(payload).hexdigest()[:16]
 
 
@@ -216,6 +227,7 @@ def generate_dataset(
                 "schema_version": DATASET_SCHEMA_VERSION,
                 "spec": asdict(spec),
                 "criterion": campaign_spec.criterion,
+                "fault_model": campaign_spec.fault_model,
                 "campaign_key": campaign_spec.cache_key(),
                 "backend": backend,
                 "scheduler": scheduler,

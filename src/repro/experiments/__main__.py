@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments transfer --preset tiny
     python -m repro.experiments transfer --preset tiny --circuits counter16 fifo4x4 crc32 lfsr16
     python -m repro.experiments campaign --scale mini --jobs 4 --injections 170
+    python -m repro.experiments campaign --scale tiny --fault-model mbu:size=3
+    python -m repro.experiments seu-mbu --scale mini
     python -m repro.experiments verify --seeds 50 --scale mini
 
 Scales map to the dataset presets of :mod:`repro.data`: ``tiny`` (seconds),
@@ -27,11 +29,17 @@ circuit A, test on circuit B, over the whole circuit library by default);
 restricts the sweep.  ``--jobs N`` shards the fault-injection campaigns
 across N worker processes (results are bit-identical to a serial run);
 ``--cache-dir`` relocates the dataset cache and the campaign result store.
+The ``seu-mbu`` experiment trains the paper models on the scale's SEU
+dataset and scores them on a fault-model-transfer target dataset of the
+same circuit (``--fault-model`` picks the target label family; default
+``mbu:size=3,radius=1,seed=0`` — see ``docs/fault_models.md``).
 The ``campaign`` command runs the parallel campaign engine directly
 (``stream`` schedule, so repeated runs with growing ``--injections`` only
 simulate the delta) and prints its economics; ``--backend
 {compiled,numpy,fused}`` selects the simulation substrate (see
-``docs/simulators.md``) without affecting results.
+``docs/simulators.md``) without affecting results, and ``--fault-model``
+swaps the injected fault family (cache identities stay separate per
+model).
 
 The ``verify`` command fuzzes ``--seeds`` random circuits and cross-checks
 the compiled simulator, the event-driven simulator, the reference oracle and
@@ -76,11 +84,13 @@ EXPERIMENTS = [
     "importance",
     "extended-features",
     "transfer",
+    "seu-mbu",
 ]
 
 #: ``all`` expands to the single-dataset experiments; the transfer matrix
-#: sweeps its own per-circuit datasets and is requested explicitly.
-ALL_EXPERIMENTS = [e for e in EXPERIMENTS if e != "transfer"]
+#: and the SEU→MBU fault-model transfer sweep their own extra datasets and
+#: are requested explicitly.
+ALL_EXPERIMENTS = [e for e in EXPERIMENTS if e not in ("transfer", "seu-mbu")]
 
 
 def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None:
@@ -94,6 +104,7 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
         scheduler=args.scheduler,
         policy=args.policy,
         target_margin=args.target_margin,
+        fault_model=args.fault_model,
     )
     policy_label = (
         f"{spec.policy}(margin={spec.target_margin})"
@@ -102,6 +113,7 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
     )
     print(
         f"=== campaign === circuit={spec.circuit} injections={spec.n_injections} "
+        f"fault_model={spec.fault_model} "
         f"backend={spec.backend} scheduler={spec.scheduler} "
         f"policy={policy_label} jobs={args.jobs} "
         f"cache={cache_dir}",
@@ -232,6 +244,13 @@ def build_spec(experiment: str, args) -> ExperimentSpec:
             circuits=args.circuits,
             model=args.transfer_model,
         )
+    if experiment == "seu-mbu":
+        return ExperimentSpec.make(
+            "seu-mbu",
+            scale=args.scale,
+            seed=args.seed,
+            fault_model=args.fault_model,
+        )
     return ExperimentSpec.make(experiment, scale=args.scale, seed=args.seed)
 
 
@@ -269,6 +288,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--transfer-model",
         default="k-NN",
         help="transfer experiment only: paper model to transfer (default: k-NN)",
+    )
+    parser.add_argument(
+        "--fault-model",
+        default=None,
+        help="fault model applied per injection site: a registry spec such as "
+        "'seu', 'mbu:size=3,radius=1,seed=0', 'stuck0', 'stuck1' or "
+        "'intermittent:period=8,on=2' (see docs/fault_models.md). The "
+        "campaign command defaults to 'seu'; the seu-mbu experiment uses "
+        "it as the transfer *target* label family (default: "
+        "mbu:size=3,radius=1,seed=0)",
     )
     parser.add_argument("--out", type=Path, default=None, help="directory for CSV/JSON outputs")
     parser.add_argument("--regenerate", action="store_true", help="ignore the dataset cache")

@@ -305,5 +305,6 @@ def _extended_features(ctx: ExperimentContext, spec: ExperimentSpec) -> Experime
     )
 
 
-# The transfer protocol lives in (and registers from) its own module.
+# The transfer protocols live in (and register from) their own modules.
 from . import transfer as _transfer  # noqa: E402,F401  (registration side effect)
+from . import fault_transfer as _fault_transfer  # noqa: E402,F401  (registration side effect)

@@ -7,7 +7,24 @@ from .classify import (
     FailureCriterion,
     PacketInterfaceCriterion,
 )
-from .faults import SetFault, SeuFault
+from .faults import (
+    BoundFaultModel,
+    FaultModel,
+    FaultModelError,
+    InjectionPlan,
+    IntermittentModel,
+    MbuModel,
+    SetFault,
+    SetSweepModel,
+    SeuFault,
+    SeuModel,
+    StuckAtModel,
+    available_fault_models,
+    canonical_fault_model,
+    ff_adjacency,
+    parse_fault_model,
+    register_fault_model,
+)
 from .fdr import FdrEstimate, required_sample_size, wilson_interval
 from .injector import BatchOutcome, FaultInjector, relevant_flip_flops
 from .scheduler import (
@@ -25,8 +42,22 @@ __all__ = [
     "BoundCriterion",
     "FailureCriterion",
     "PacketInterfaceCriterion",
+    "BoundFaultModel",
+    "FaultModel",
+    "FaultModelError",
+    "InjectionPlan",
+    "IntermittentModel",
+    "MbuModel",
     "SetFault",
+    "SetSweepModel",
     "SeuFault",
+    "SeuModel",
+    "StuckAtModel",
+    "available_fault_models",
+    "canonical_fault_model",
+    "ff_adjacency",
+    "parse_fault_model",
+    "register_fault_model",
     "FdrEstimate",
     "required_sample_size",
     "wilson_interval",

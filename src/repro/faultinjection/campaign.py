@@ -196,6 +196,10 @@ class StatisticalFaultCampaign:
         (default) picks the backend-tuned width — refill keeps wide
         batches full, so the adaptive default is much wider than
         ``max_lanes``.
+    fault_model:
+        Registered fault model applied at every drawn ``(cycle, ff)``
+        site (see :mod:`repro.faultinjection.faults`); ``None`` keeps
+        the paper's single-bit SEU semantics.
     """
 
     SCHEDULERS = EXECUTION_SCHEDULERS
@@ -212,6 +216,7 @@ class StatisticalFaultCampaign:
         backend: str = "compiled",
         scheduler: str = "adaptive",
         scheduler_lanes: Optional[int] = None,
+        fault_model: Optional[object] = None,
     ) -> None:
         if scheduler not in self.SCHEDULERS:
             raise ValueError(
@@ -240,6 +245,7 @@ class StatisticalFaultCampaign:
             criterion,
             check_interval=check_interval,
             backend=backend,
+            fault_model=fault_model,
         )
 
     def run(

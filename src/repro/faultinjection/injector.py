@@ -47,6 +47,7 @@ from ..sim.backend import BACKEND_NAMES, create_backend
 from ..sim.fused import FusedSweepKernel
 from ..sim.testbench import GoldenTrace, Testbench
 from .classify import FailureCriterion
+from .faults import BoundFaultModel, FaultModel, InjectionPlan, parse_fault_model
 
 __all__ = ["FaultInjector", "BatchOutcome", "relevant_flip_flops"]
 
@@ -137,6 +138,14 @@ class FaultInjector:
     backend:
         Simulation substrate: ``"compiled"`` (default), ``"numpy"``, or
         ``"fused"``.  Verdicts and latencies are backend-invariant.
+    fault_model:
+        A :class:`~repro.faultinjection.faults.FaultModel`, a registry spec
+        string (``"mbu:size=3,radius=1,seed=0"``), or ``None`` for the
+        paper's single-bit SEU.  Models whose plans carry per-cycle forcing
+        (stuck-at, intermittent) run on the cycle substrate even under
+        ``backend="fused"`` — the generated sweep kernel has no re-force
+        hook — and their lanes are excluded from convergence-based early
+        retirement.
     """
 
     def __init__(
@@ -147,6 +156,7 @@ class FaultInjector:
         criterion: FailureCriterion,
         check_interval: int = 8,
         backend: str = "compiled",
+        fault_model: "FaultModel | str | None" = None,
     ) -> None:
         if backend not in BACKEND_NAMES:
             raise ValueError(
@@ -157,6 +167,16 @@ class FaultInjector:
         self.golden = golden
         self.check_interval = max(1, check_interval)
         self.backend = backend
+        self.fault_model: Optional[FaultModel] = (
+            None if fault_model is None else parse_fault_model(fault_model)
+        )
+        # The plain SEU keeps the original one-flip fast path (``None``
+        # bound model); anything else compiles per-injection plans.
+        self._bound_model: Optional[BoundFaultModel] = (
+            self.fault_model.bind(netlist)
+            if self.fault_model is not None and self.fault_model.name != "seu"
+            else None
+        )
         # The fused engine replaces the per-cycle loop, not the cycle
         # simulator itself; SET injection and net bookkeeping still run on
         # the compiled substrate underneath it.
@@ -240,6 +260,18 @@ class FaultInjector:
         """Index of a flip-flop by instance name (lane/state ordering)."""
         return self.sim.ff_index[ff_name]
 
+    @property
+    def bound_model(self) -> Optional[BoundFaultModel]:
+        """The netlist-bound fault model, or ``None`` for the SEU fast path."""
+        return self._bound_model
+
+    def injection_plan(self, ff_index: int, cycle: int) -> InjectionPlan:
+        """The compiled plan executed for ``(cycle, ff_index)`` — the exact
+        flips and forces any engine (and the brute-force oracle) replays."""
+        if self._bound_model is None:
+            return InjectionPlan(flips=(ff_index,))
+        return self._bound_model.plan(ff_index, cycle)
+
     def run_scheduled(
         self,
         injections: Sequence[Tuple[int, int]],
@@ -299,6 +331,10 @@ class FaultInjector:
             outcome.cycles_simulated * outcome.n_lanes
         )
         registry.counter(f"sim.{self.backend}.forward_runs").inc()
+        if self.fault_model is not None:
+            registry.counter(f"fault.{self.fault_model.name}.injections").inc(
+                outcome.n_lanes
+            )
         return outcome
 
     def run_batch(
@@ -307,23 +343,37 @@ class FaultInjector:
         ff_indices: Sequence[int],
         horizon: Optional[int] = None,
     ) -> BatchOutcome:
-        """Simulate one SEU per lane, all injected at *cycle*.
+        """Simulate one injection per lane, all struck at *cycle*.
 
-        Returns the per-lane failure mask.  The forward run stops at the end
-        of the golden trace, after *horizon* cycles, or as soon as every
-        lane has failed or re-converged to golden — whichever comes first.
+        Each lane executes the configured fault model's plan for its
+        flip-flop (a single flip for the default SEU, a cluster flip for
+        MBUs, per-cycle forcing for stuck-at/intermittent faults).  Returns
+        the per-lane failure mask.  The forward run stops at the end of the
+        golden trace, after *horizon* cycles, or as soon as every lane has
+        failed or re-converged to golden — whichever comes first; lanes
+        with active forcing never count as converged.
         """
         golden = self.golden
         if not 0 <= cycle < golden.n_cycles:
             raise ValueError(f"injection cycle {cycle} outside trace [0, {golden.n_cycles})")
         n = len(ff_indices)
+        bound = self._bound_model
+        plans: Optional[List[InjectionPlan]] = None
+        if bound is not None:
+            plans = [bound.plan(ff_idx, cycle) for ff_idx in ff_indices]
 
-        if self.backend == "fused":
+        if self.backend == "fused" and (
+            plans is None or not any(p.forces for p in plans)
+        ):
+            # Pure flip plans ride the generated sweep kernel (MBU clusters
+            # are just multi-bit flip specs); forcing falls back to the
+            # cycle substrate below.
             end = golden.n_cycles
             if horizon is not None:
                 end = min(end, cycle + horizon)
+            flip_spec = ff_indices if plans is None else [p.flips for p in plans]
             failed, latencies, cycles = self.fused_kernel().run_sweep(
-                cycle, end, ff_indices
+                cycle, end, flip_spec
             )
             return self._record_outcome(
                 BatchOutcome(
@@ -341,8 +391,28 @@ class FaultInjector:
         zero = sim.broadcast(0)
 
         sim.load_ff_state_packed(golden.ff_state[cycle])
-        for lane, ff_idx in enumerate(ff_indices):
-            sim.flip_ff(ff_idx, 1 << lane)
+        if plans is None:
+            for lane, ff_idx in enumerate(ff_indices):
+                sim.flip_ff(ff_idx, 1 << lane)
+        else:
+            for lane, plan in enumerate(plans):
+                for ff_idx in plan.flips:
+                    sim.flip_ff(ff_idx, 1 << lane)
+
+        # Per-lane forcing schedule: (plan, lane vector, Q rows to force).
+        force_lanes: List[Tuple[InjectionPlan, object, List[Tuple[int, int]]]] = []
+        force_vec = zero
+        if plans is not None:
+            ffs = sim.flip_flops
+            for lane, plan in enumerate(plans):
+                if plan.forces:
+                    rows = [
+                        (sim.net_index[ffs[f].output_net()], v)
+                        for f, v in plan.forces
+                    ]
+                    lv = sim.lane_vec(lane)
+                    force_lanes.append((plan, lv, rows))
+                    force_vec = force_vec | lv
 
         for tap in self._taps:
             golden_bits = tap.golden_bits
@@ -360,6 +430,7 @@ class FaultInjector:
         latencies: Dict[int, int] = {}
         criterion = self._criterion
         check = self.check_interval
+        forced_writes = 0
         c = cycle
         while c < end:
             vec = golden.applied_inputs[c]
@@ -367,6 +438,13 @@ class FaultInjector:
                 values[value_idx] = mask if (vec >> bit_pos) & 1 else zero
             for tap in self._taps:
                 values[tap.target_value_idx] = tap.slots[c % tap.delay]
+            for plan, lv, rows in force_lanes:
+                # Re-assert the fault on the lane's Q rows before the settle
+                # (the latched value is corrupted for this cycle).
+                if plan.force_active(c - cycle):
+                    for q_idx, v in rows:
+                        values[q_idx] = (values[q_idx] & ~lv) | (lv if v else zero)
+                    forced_writes += 1
             sim.eval_comb()
             newly = criterion.evaluate(values, golden.outputs[c], mask) & ~failed
             if sim.vec_any(newly):
@@ -381,8 +459,15 @@ class FaultInjector:
             if (c - cycle) % check == 0 or c == end:
                 diverged = self._divergence(c, mask)
                 diverged = diverged | self._loopback_divergence(c, mask)
-                if sim.vec_is_full(failed | ~diverged):
+                # Forced lanes are only done once failed: a lane whose state
+                # matches golden right now can still be re-disturbed by a
+                # later duty-on cycle.
+                if sim.vec_is_full(failed | (~diverged & ~force_vec)):
                     break
+        if forced_writes:
+            get_telemetry().registry.counter(
+                f"fault.{self.fault_model.name}.forced_cycles"
+            ).inc(forced_writes)
         return self._record_outcome(
             BatchOutcome(
                 failed_mask=sim.vec_to_int(failed),

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 from ..netlist.levelize import LevelizedDesign, ff_spread_masks, levelize
 from ..sim.logic import lane_mask
+from .faults import InjectionPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .injector import FaultInjector
@@ -101,8 +102,9 @@ AUTO_MAX_LANES = {"compiled": 4096, "fused": 4096, "numpy": 16384}
 
 @dataclass(frozen=True)
 class InjectionRequest:
-    """One pending SEU: flip ``ff_index`` at ``cycle``; ``key`` indexes the
-    caller's request list and names the verdict slot."""
+    """One pending injection: strike ``ff_index`` at ``cycle`` under the
+    injector's fault model; ``key`` indexes the caller's request list and
+    names the verdict slot."""
 
     cycle: int
     ff_index: int
@@ -136,6 +138,7 @@ class SchedulerStats:
     partitions_evaluated: int = 0
     partitions_skipped: int = 0
     policy_skipped: int = 0
+    forced_cycles: int = 0
 
     def lane_occupancy(self) -> float:
         """Fraction of allocated lane-slots that carried a live injection.
@@ -166,6 +169,7 @@ class SchedulerStats:
             "partitions_evaluated",
             "partitions_skipped",
             "policy_skipped",
+            "forced_cycles",
         ):
             value = getattr(self, name)
             if value:
@@ -447,7 +451,14 @@ class AdaptiveScheduler:
 
         total = len(requests)
         skipped: List[int] = []
-        if self.injector.backend == "fused":
+        bound = self.injector.bound_model
+        if self.injector.backend == "fused" and (
+            bound is None or not bound.has_forces
+        ):
+            # Pure flip models (SEU, MBU clusters) ride the generated
+            # scheduled-sweep kernel; forcing models need the cycle
+            # substrate's per-cycle re-force hook and take the pass loop
+            # below (the injector's cycle sim is compiled under "fused").
             self.stats.peak_width = min(self.max_lanes, total)
             self._run_fused(requests, verdicts, horizon, progress)
         else:
@@ -466,6 +477,10 @@ class AdaptiveScheduler:
         registry.counter(f"sim.{self.injector.backend}.lane_cycles").inc(
             self.stats.lane_cycles
         )
+        if self.injector.fault_model is not None:
+            registry.counter(
+                f"fault.{self.injector.fault_model.name}.injections"
+            ).inc(total - len(skipped))
         return ScheduledOutcome(verdicts=verdicts, stats=self.stats, skipped=skipped)
 
     # ---------------------------------------------------------- fused path
@@ -478,8 +493,18 @@ class AdaptiveScheduler:
         progress: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         kernel = self.injector.fused_kernel()
+        bound = self.injector.bound_model
         kernel.run_scheduled(
-            [(r.cycle, r.ff_index, r.key) for r in requests],
+            [
+                (
+                    r.cycle,
+                    r.ff_index
+                    if bound is None
+                    else bound.plan(r.ff_index, r.cycle).flips,
+                    r.key,
+                )
+                for r in requests
+            ],
             verdicts,
             max_lanes=self.max_lanes,
             horizon=horizon,
@@ -577,6 +602,28 @@ class AdaptiveScheduler:
         free: List[int] = list(range(width - 1, -1, -1))  # pop() -> lowest lane
         deadlines: Dict[int, List[int]] = {}
 
+        # Fault-model state: per-lane plan compilation and force bookkeeping.
+        bound = injector.bound_model
+        ff_cells = sim.flip_flops
+        lane_force: List[
+            Optional[Tuple[InjectionPlan, int, List[Tuple[int, int]]]]
+        ] = [None] * width
+        force_int = 0
+
+        def forced_frontier() -> int:
+            """Flip-flop mask every live forcing lane keeps disturbing —
+            ORed into the cone-gating frontier so forced state is never
+            golden-overwritten or skipped by a gated window."""
+            ffm = 0
+            bits = force_int
+            while bits:
+                low = bits & -bits
+                iplan, _c0, _rows = lane_force[low.bit_length() - 1]
+                for f, _v in iplan.forces:
+                    ffm |= 1 << f
+                bits ^= low
+            return ffm
+
         active_int = 0
         active_vec = zero
         failed_int = 0
@@ -589,7 +636,7 @@ class AdaptiveScheduler:
         n_pending = len(pending)
 
         def retire_lanes(retire_bits: int) -> None:
-            nonlocal active_int, active_vec, failed_int, failed
+            nonlocal active_int, active_vec, failed_int, failed, force_int
             bits = retire_bits
             while bits:
                 low = bits & -bits
@@ -597,6 +644,7 @@ class AdaptiveScheduler:
                 bits ^= low
                 request = lane_req[lane]
                 lane_req[lane] = None
+                lane_force[lane] = None
                 lane_failed = bool((failed_int >> lane) & 1)
                 verdicts[request.key] = (
                     lane_failed,
@@ -607,6 +655,7 @@ class AdaptiveScheduler:
                 free.append(lane)
             active_int &= ~retire_bits
             failed_int &= ~retire_bits
+            force_int &= ~retire_bits
             active_vec = self._native(active_int)
             failed = self._native(failed_int)
 
@@ -660,8 +709,23 @@ class AdaptiveScheduler:
                 nam = am ^ mask
                 load_fn(values, zero, am, nam, golden.ff_state[c])
                 for request, lane in act_requests:
-                    sim.flip_ff(request.ff_index, 1 << lane)
-                    frontier |= 1 << request.ff_index
+                    if bound is None:
+                        sim.flip_ff(request.ff_index, 1 << lane)
+                        frontier |= 1 << request.ff_index
+                    else:
+                        iplan = bound.plan(request.ff_index, request.cycle)
+                        for f in iplan.flips:
+                            sim.flip_ff(f, 1 << lane)
+                            frontier |= 1 << f
+                        if iplan.forces:
+                            rows = [
+                                (sim.net_index[ff_cells[f].output_net()], v)
+                                for f, v in iplan.forces
+                            ]
+                            lane_force[lane] = (iplan, request.cycle, rows)
+                            force_int |= 1 << lane
+                            for f, _v in iplan.forces:
+                                frontier |= 1 << f
                 for t, tap in enumerate(taps):
                     tap_golden = tap.golden_bits
                     for past in range(c - tap.delay, c):
@@ -674,7 +738,13 @@ class AdaptiveScheduler:
                 if gate_on or (gate_auto and active_int.bit_count() <= AUTO_GATE_MAX_LANES):
                     if plan is None:
                         plan = self._gating_plan()
-                    window = self._make_window(plan, frontier, c, slots, check)
+                    window = self._make_window(
+                        plan,
+                        frontier | (forced_frontier() if force_int else 0),
+                        c,
+                        slots,
+                        check,
+                    )
                 else:
                     window = _FULL_WINDOW
 
@@ -692,6 +762,20 @@ class AdaptiveScheduler:
                 values[value_idx] = mask if (applied >> bit_pos) & 1 else zero
             for t, tap in enumerate(taps):
                 values[tap.target_value_idx] = slots[t][c % tap.delay]
+            if force_int:
+                # Re-assert forcing plans on their duty-on cycles, before the
+                # settle — exactly mirroring run_batch and the oracle.
+                bits = force_int
+                while bits:
+                    low = bits & -bits
+                    lane = low.bit_length() - 1
+                    bits ^= low
+                    iplan, cycle0, rows = lane_force[lane]
+                    if iplan.force_active(c - cycle0):
+                        lv = sim.lane_vec(lane)
+                        for q_idx, v in rows:
+                            values[q_idx] = (values[q_idx] & ~lv) | (lv if v else zero)
+                        stats.forced_cycles += 1
 
             if window.full:
                 sim.eval_comb()
@@ -739,7 +823,11 @@ class AdaptiveScheduler:
                     retire_lanes(active_int)
                     break
                 diff, frontier = self._probe_divergence(c, active_vec, slots)
-                retire_bits = active_int & (failed_int | (all_lanes ^ sim.vec_to_int(diff)))
+                # A forcing lane that matches golden right now is not done —
+                # a later duty-on cycle can re-disturb it — so convergence
+                # retirement excludes live force lanes (failure still retires).
+                converged = (all_lanes ^ sim.vec_to_int(diff)) & ~force_int
+                retire_bits = active_int & (failed_int | converged)
                 if retire_bits:
                     stats.early_retired += (retire_bits & ~failed_int).bit_count()
                     retire_lanes(retire_bits)
@@ -758,17 +846,27 @@ class AdaptiveScheduler:
                     and width - active_int.bit_count() >= MIN_REPACK_GAIN
                 ):
                     width, mask, zero, values, all_lanes, failed_int = self._repack(
-                        lane_req, lane_lat, slots, free, deadlines, failed
+                        lane_req, lane_lat, slots, free, deadlines, failed, lane_force
                     )
                     active_int = all_lanes  # every surviving lane is live
                     ever_used = all_lanes  # survivors all carry injections
                     active_vec = self._native(active_int)
                     failed = self._native(failed_int)
+                    force_int = 0
+                    for lane, entry in enumerate(lane_force):
+                        if entry is not None:
+                            force_int |= 1 << lane
                     stats.repacks += 1
                 if gate_on or (gate_auto and active_int.bit_count() <= AUTO_GATE_MAX_LANES):
                     if plan is None:
                         plan = self._gating_plan()
-                    window = self._make_window(plan, frontier, c, slots, check)
+                    window = self._make_window(
+                        plan,
+                        frontier | (forced_frontier() if force_int else 0),
+                        c,
+                        slots,
+                        check,
+                    )
                 else:
                     window = _FULL_WINDOW
 
@@ -903,7 +1001,7 @@ class AdaptiveScheduler:
             fail = fail | ((values[idx] ^ golden_vec) & beat)
         return fail & mask
 
-    def _repack(self, lane_req, lane_lat, slots, free, deadlines, failed):
+    def _repack(self, lane_req, lane_lat, slots, free, deadlines, failed, lane_force):
         """Compact surviving lanes into a narrower batch (gather/scatter).
 
         Only flip-flop state, loopback slots and the failure mask need
@@ -933,11 +1031,14 @@ class AdaptiveScheduler:
         remap = {old: new for new, old in enumerate(keep)}
         new_req: List[Optional[InjectionRequest]] = [None] * new_width
         new_lat = [0] * new_width
+        new_force: List[Optional[Tuple]] = [None] * new_width
         for old, new in remap.items():
             new_req[new] = lane_req[old]
             new_lat[new] = lane_lat[old]
+            new_force[new] = lane_force[old]
         lane_req[:] = new_req
         lane_lat[:] = new_lat
+        lane_force[:] = new_force
         free[:] = []
         for cycle_key in list(deadlines):
             deadlines[cycle_key] = [

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, List, Optional
 from ..faultinjection.campaign import CampaignResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..experiments.fault_transfer import FaultTransferResult
     from ..experiments.transfer import TransferResult
 from ..experiments.common import PAPER_TABLE1
 from ..experiments.figures import FIGURE_MODELS, run_figure
@@ -38,6 +39,7 @@ def generate_report(
     include_future_work: bool = True,
     campaign: Optional[CampaignResult] = None,
     transfer: Optional["TransferResult"] = None,
+    fault_transfer: Optional["FaultTransferResult"] = None,
 ) -> str:
     """Run Table I + Figs. 2-4 (+ future work) and render markdown.
 
@@ -45,7 +47,9 @@ def generate_report(
     economics section with the engine's actual cost counters (forward runs,
     bit-parallel lane amortization, wall time); pass a
     :class:`~repro.experiments.transfer.TransferResult` to append the
-    cross-circuit transfer matrix.
+    cross-circuit transfer matrix; pass a
+    :class:`~repro.experiments.fault_transfer.FaultTransferResult` to
+    append the SEU→MBU fault-model transfer table.
     """
     curve_sizes = curve_sizes or [0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
     lines: List[str] = []
@@ -144,6 +148,30 @@ def generate_report(
         lines.append(
             f"Mean off-diagonal R²: **{transfer.mean_transfer_r2():.3f}** "
             f"over {len(transfer.circuits)} circuits."
+        )
+        lines.append("")
+    if fault_transfer is not None:
+        lines.append("## Fault-model transfer (SEU → " f"{fault_transfer.target_model})")
+        lines.append("")
+        lines.append(
+            f"Models trained on `{fault_transfer.circuit}`'s SEU labels, "
+            f"scored on an independent `{fault_transfer.target_model}` "
+            f"campaign over the same {fault_transfer.n_samples} flip-flops "
+            f"(mean FDR {fault_transfer.seu_mean_fdr:.3f} seu vs "
+            f"{fault_transfer.target_mean_fdr:.3f} target). SEU columns use "
+            "the in-circuit 50 % split protocol."
+        )
+        lines.append("")
+        lines.append("| Model | SEU R² | SEU MAE | transfer R² | transfer MAE |")
+        lines.append("|---|---|---|---|---|")
+        for model, row in fault_transfer.rows.items():
+            lines.append(
+                f"| {model} | {row['seu_r2']:.3f} | {row['seu_mae']:.3f} "
+                f"| {row['transfer_r2']:.3f} | {row['transfer_mae']:.3f} |"
+            )
+        lines.append("")
+        lines.append(
+            f"Best transfer model: **{fault_transfer.best_model()}**"
         )
         lines.append("")
     if campaign is not None:

@@ -248,10 +248,12 @@ class FusedSweepKernel:
         self,
         cycle: int,
         end: int,
-        ff_indices: Sequence[int],
+        ff_indices: Sequence[object],
     ) -> Tuple[int, Dict[int, int], int]:
         """Run one fused sweep: lane *j* flips ``ff_indices[j]`` at *cycle*.
 
+        A lane's flip spec is a flip-flop index or a tuple of indices (a
+        multi-bit upset cluster — the whole cluster lands on one lane).
         Returns ``(failed_mask, latencies, cycles_simulated)`` with the
         exact :meth:`FaultInjector.run_batch` semantics.
         """
@@ -259,8 +261,9 @@ class FusedSweepKernel:
         m = lane_mask(n)
         golden = self.golden
         flips = [0] * max(1, self._n_ffs)
-        for lane, ff_idx in enumerate(ff_indices):
-            flips[ff_idx] |= 1 << lane
+        for lane, spec in enumerate(ff_indices):
+            for ff_idx in spec if isinstance(spec, tuple) else (spec,):
+                flips[ff_idx] |= 1 << lane
         slots: List[List[int]] = []
         for _src, _tgt, out_bit, delay in self._taps:
             pipeline = [0] * delay
@@ -597,7 +600,9 @@ class _SweepFeeder:
             flips = [0] * max(1, kernel._n_ffs)
             for request, lane in activated:
                 act_mask |= 1 << lane
-                flips[request[1]] |= 1 << lane
+                spec = request[1]
+                for ff_idx in spec if isinstance(spec, tuple) else (spec,):
+                    flips[ff_idx] |= 1 << lane
             golden_state = kernel.golden.ff_state[cycle]
             history = []
             for t, (_src, _tgt, _sb, delay) in enumerate(kernel._taps):

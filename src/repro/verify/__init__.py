@@ -11,11 +11,14 @@ engines plus the fault injector and pinpoints the first divergence
 """
 
 from .diff import (
+    FAULT_MODEL_CHECK_SPECS,
     Divergence,
     SeedReport,
     VerifySummary,
+    brute_force_fault,
     brute_force_seu,
     run_event_differential,
+    run_fault_model_check,
     run_injector_check,
     run_lane_differential,
     run_scheduler_check,
@@ -37,8 +40,11 @@ __all__ = [
     "Divergence",
     "SeedReport",
     "VerifySummary",
+    "FAULT_MODEL_CHECK_SPECS",
+    "brute_force_fault",
     "brute_force_seu",
     "run_event_differential",
+    "run_fault_model_check",
     "run_injector_check",
     "run_lane_differential",
     "run_scheduler_check",

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faultinjection.classify import AnyOutputCriterion
+from ..faultinjection.faults import InjectionPlan
 from ..faultinjection.injector import FaultInjector
 from ..netlist.core import Netlist
 from ..sim.backend import BACKEND_NAMES, CYCLE_BACKENDS, create_backend
@@ -69,7 +70,10 @@ __all__ = [
     "run_event_differential",
     "run_injector_check",
     "run_scheduler_check",
+    "run_fault_model_check",
     "brute_force_seu",
+    "brute_force_fault",
+    "FAULT_MODEL_CHECK_SPECS",
     "verify_seed",
     "verify_seeds",
 ]
@@ -270,19 +274,22 @@ def run_event_differential(
 # ------------------------------------------------------- metamorphic injector
 
 
-def brute_force_seu(
+def brute_force_fault(
     netlist: Netlist,
     testbench: Testbench,
     golden: GoldenTrace,
     cycle: int,
-    ff_index: int,
+    plan: InjectionPlan,
 ) -> Tuple[bool, Optional[int]]:
-    """Single-lane oracle re-simulation of one SEU, no shortcuts.
+    """Single-lane oracle re-simulation of one injection plan, no shortcuts.
 
     Replays the golden open-loop stimulus, feeds loopback targets from the
-    *faulty* run's own outputs, and reports ``(failed, latency)`` under the
-    any-output-deviation criterion.  Used as the referee for
-    :meth:`FaultInjector.run_batch`.
+    *faulty* run's own outputs, applies the plan's state-bit flips once at
+    the injection cycle and re-asserts its forced values on every duty-on
+    cycle before the combinational settle, and reports ``(failed,
+    latency)`` under the any-output-deviation criterion.  Works for every
+    registered fault model — the plan *is* the model's entire effect — and
+    is the referee for :meth:`FaultInjector.run_batch`.
     """
     oracle = OracleSimulator(netlist)
     out_bit = {n: i for i, n in enumerate(netlist.outputs)}
@@ -297,8 +304,11 @@ def brute_force_seu(
             taps.append((src, dst, path.delay, slots))
             loop_targets.add(dst)
 
+    flip_flops = netlist.flip_flops()
+    force_nets = [(flip_flops[f].output_net(), v) for f, v in plan.forces]
     oracle.load_ff_state_packed(golden.ff_state[cycle])
-    oracle.flip_ff(ff_index)
+    for ff_index in plan.flips:
+        oracle.flip_ff(ff_index)
     for c in range(cycle, golden.n_cycles):
         vector = golden.applied_inputs[c]
         for i, name in enumerate(testbench.input_names):
@@ -306,6 +316,9 @@ def brute_force_seu(
                 oracle.set_input(name, (vector >> i) & 1)
         for _src, dst, delay, slots in taps:
             oracle.set_input(dst, slots[c % delay])
+        if force_nets and plan.force_active(c - cycle):
+            for q_net, v in force_nets:
+                oracle.values[q_net] = v
         oracle.eval_comb()
         if oracle.output_vector() != golden.outputs[c]:
             return True, c - cycle
@@ -313,6 +326,19 @@ def brute_force_seu(
             slots[c % delay] = oracle.values[src]
         oracle.tick()
     return False, None
+
+
+def brute_force_seu(
+    netlist: Netlist,
+    testbench: Testbench,
+    golden: GoldenTrace,
+    cycle: int,
+    ff_index: int,
+) -> Tuple[bool, Optional[int]]:
+    """Single-lane oracle re-simulation of one SEU (one bit flip, no forces)."""
+    return brute_force_fault(
+        netlist, testbench, golden, cycle, InjectionPlan(flips=(ff_index,))
+    )
 
 
 def run_injector_check(
@@ -483,6 +509,144 @@ def run_scheduler_check(
     return divergences, checked
 
 
+# --------------------------------------------------------- fault-model check
+
+#: Registry spec strings enrolled in the fuzz differential (the plain SEU
+#: is already covered exhaustively by :func:`run_injector_check` /
+#: :func:`run_scheduler_check`).  Small parameters on purpose: fuzz
+#: circuits have a handful of flip-flops, so a size-3 cluster and a
+#: period-5 duty cycle already exercise every code path.
+FAULT_MODEL_CHECK_SPECS: Tuple[str, ...] = (
+    "mbu:size=3,radius=1,seed=0",
+    "stuck0",
+    "stuck1",
+    "intermittent:period=5,on=2,seed=0",
+)
+
+
+def run_fault_model_check(
+    netlist: Netlist,
+    spec: FuzzSpec,
+    model_specs: Sequence[str] = FAULT_MODEL_CHECK_SPECS,
+    n_injection_cycles: int = 2,
+    stop_at_first: bool = True,
+    backends: Sequence[str] = BACKEND_NAMES,
+    max_lanes: int = 5,
+) -> Tuple[List[Divergence], int]:
+    """Replay every registered fault model against the brute-force oracle.
+
+    For each model spec, every flip-flop is injected at a couple of
+    seed-drawn cycles.  Three comparisons per injection:
+
+    * the per-backend :meth:`FaultInjector.run_batch` verdict/latency vs. a
+      single-lane :func:`brute_force_fault` replay of the *same*
+      :class:`~repro.faultinjection.faults.InjectionPlan` (the plan is the
+      shared contract — the oracle applies it with none of the engine's
+      lane packing, early retirement or force vectorization);
+    * cross-backend agreement falls out of the above (all backends are
+      diffed against one referee);
+    * the adaptive scheduler's mixed-cycle verdicts vs. the brute-force
+      reference, with a tiny ``max_lanes`` and ``cone_gating="on"`` so
+      refill, repack and the forced-frontier gating all trigger under
+      forcing models.
+    """
+    testbench = generate_testbench(netlist, spec)
+    golden = testbench.run_golden()
+    criterion = AnyOutputCriterion.all_outputs(netlist)
+    flip_flops = netlist.flip_flops()
+    ff_indices = list(range(len(flip_flops)))
+    if not ff_indices:
+        return [], 0
+
+    divergences: List[Divergence] = []
+    checked = 0
+    for model_spec in model_specs:
+        injectors = {
+            backend: FaultInjector(
+                netlist,
+                testbench,
+                golden,
+                criterion,
+                check_interval=4,
+                backend=backend,
+                fault_model=model_spec,
+            )
+            for backend in backends
+        }
+        planner = next(iter(injectors.values()))
+        rng = random.Random(f"fault:{model_spec}:{spec.seed}")
+        first = min(2, golden.n_cycles - 1)
+        candidates = list(range(first, golden.n_cycles))
+        cycles = sorted(
+            rng.sample(candidates, min(n_injection_cycles, len(candidates)))
+        )
+
+        reference: Dict[Tuple[int, int], Tuple[bool, Optional[int]]] = {}
+        for cycle in cycles:
+            outcomes = {
+                backend: injector.run_batch(cycle, ff_indices)
+                for backend, injector in injectors.items()
+            }
+            for lane, ff_idx in enumerate(ff_indices):
+                plan = planner.injection_plan(ff_idx, cycle)
+                ref_failed, ref_latency = brute_force_fault(
+                    netlist, testbench, golden, cycle, plan
+                )
+                reference[(cycle, ff_idx)] = (ref_failed, ref_latency)
+                ff_name = flip_flops[ff_idx].name
+                for backend, outcome in outcomes.items():
+                    checked += 1
+                    label = f"{model_spec}[{backend}]"
+                    got_failed = bool((outcome.failed_mask >> lane) & 1)
+                    got_latency = outcome.latencies.get(lane)
+                    if got_failed != ref_failed or (
+                        got_failed and got_latency != ref_latency
+                    ):
+                        divergences.append(
+                            Divergence(
+                                kind=f"{label}-vs-bruteforce",
+                                cycle=cycle,
+                                net=ff_name,
+                                values={
+                                    label: (got_failed, got_latency),
+                                    "bruteforce": (ref_failed, ref_latency),
+                                },
+                                detail="fault-model verdict/latency mismatch",
+                            )
+                        )
+                        if stop_at_first:
+                            return divergences, checked
+
+        requests = [(cycle, ff_idx) for cycle in cycles for ff_idx in ff_indices]
+        expected = [reference[r] for r in requests]
+        normalized = [
+            (failed, latency if failed else None) for failed, latency in expected
+        ]
+        for backend, injector in injectors.items():
+            scheduled = injector.run_scheduled(
+                requests, max_lanes=max_lanes, cone_gating="on"
+            )
+            label = f"{model_spec}-scheduled[{backend}]"
+            for k, (request, want, got) in enumerate(
+                zip(requests, normalized, scheduled.verdicts)
+            ):
+                checked += 1
+                if got != want:
+                    cycle, ff_idx = request
+                    divergences.append(
+                        Divergence(
+                            kind=f"{label}-vs-bruteforce",
+                            cycle=cycle,
+                            net=flip_flops[ff_idx].name,
+                            values={label: got, "bruteforce": want},
+                            detail=f"request {k} verdict/latency mismatch",
+                        )
+                    )
+                    if stop_at_first:
+                        return divergences, checked
+    return divergences, checked
+
+
 # ------------------------------------------------------------------ seed sweep
 
 
@@ -491,6 +655,7 @@ def verify_seed(
     with_event: bool = True,
     with_injector: bool = True,
     with_scheduler: bool = True,
+    with_fault_models: bool = True,
     n_lanes: int = 3,
     cycle_backends: Sequence[str] = CYCLE_BACKENDS,
     injector_backends: Sequence[str] = BACKEND_NAMES,
@@ -499,10 +664,13 @@ def verify_seed(
 
     By default every cycle backend is lane-diffed against the oracle, every
     injector substrate (including the fused sweep kernel) is replayed
-    against brute force, and the adaptive scheduler's mixed-cycle verdicts
-    are replayed against naive batches on every backend — so a fuzz sweep
-    certifies the whole pluggable simulation substrate, naive and
-    scheduled, at once.
+    against brute force, the adaptive scheduler's mixed-cycle verdicts
+    are replayed against naive batches on every backend, and every
+    registered fault model (MBU clusters, stuck-at, intermittent) is
+    replayed batch- and scheduler-side against its own brute-force oracle
+    (:func:`run_fault_model_check`) — so a fuzz sweep certifies the whole
+    pluggable simulation substrate, naive and scheduled, across all fault
+    models at once.
     """
     netlist = generate_netlist(spec)
     stats = netlist.stats()
@@ -530,6 +698,12 @@ def verify_seed(
         report.injections_checked = checked
     if with_scheduler:
         divergences, checked = run_scheduler_check(
+            netlist, spec, backends=injector_backends
+        )
+        report.divergences.extend(divergences)
+        report.injections_checked += checked
+    if with_fault_models:
+        divergences, checked = run_fault_model_check(
             netlist, spec, backends=injector_backends
         )
         report.divergences.extend(divergences)
