@@ -18,10 +18,14 @@ philosophy to our own compute:
   and budget reallocation;
 * :mod:`~repro.campaigns.executor` — the engine: runs shards across worker
   processes (serial fallback included) and merges per-flip-flop results
-  bit-exactly.
+  bit-exactly;
+* :mod:`~repro.campaigns.supervisor` — the fault-tolerant dispatcher under
+  the engine: shard deadlines, bounded retry with backoff, dead-worker
+  detection and pool rebuild, poison-shard quarantine, and graceful
+  degradation to serial execution.
 """
 
-from .executor import CampaignEngine, EngineReport, run_campaign
+from .executor import CampaignEngine, EngineReport, RetryPolicy, run_campaign
 from .partition import (
     Bucket,
     legacy_buckets,
@@ -41,6 +45,7 @@ from .policy import (
 )
 from .spec import CampaignContext, CampaignSpec, build_context
 from .store import CampaignStore
+from .supervisor import QuarantinedShard, ShardOutcome, SupervisedPool
 
 __all__ = [
     "Bucket",
@@ -51,10 +56,14 @@ __all__ = [
     "DEFAULT_TARGET_MARGIN",
     "EngineReport",
     "FlatPolicy",
+    "QuarantinedShard",
+    "RetryPolicy",
     "SAMPLING_POLICIES",
     "SamplingPolicy",
     "SequentialWilsonPolicy",
     "ShardGate",
+    "ShardOutcome",
+    "SupervisedPool",
     "build_context",
     "legacy_buckets",
     "make_policy",

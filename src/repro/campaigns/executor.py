@@ -9,15 +9,23 @@ into a :class:`~repro.faultinjection.campaign.CampaignResult`:
    incremental top-up;
 2. plan the remaining injection draws as time-slot buckets and partition
    them into balanced shards;
-3. run the shards — in worker processes (``jobs > 1``), each of which
-   rebuilds its own netlist/golden trace/:class:`FaultInjector` from the
-   picklable spec, or serially in-process as a fallback;
+3. run the shards through a :class:`~repro.campaigns.supervisor.SupervisedPool`
+   — worker processes (``jobs > 1``), each of which rebuilds its own
+   netlist/golden trace/:class:`FaultInjector` from the picklable spec, or
+   the in-process serial runner.  The supervisor retries failed/hung/lost
+   shards with backoff, rebuilds broken pools, quarantines shards that
+   keep failing (reported in :attr:`EngineReport.quarantined_shards`
+   instead of raising), and degrades to serial execution when the pool
+   itself is unreliable;
 4. merge the per-flip-flop counters (pure integer sums, so the merged
    result is bit-identical to a serial run of the same schedule) and
-   checkpoint progress to the store after every shard.
+   checkpoint progress to the store on a throttled interval (with an exact
+   write at every exit path).
 
 ``KeyboardInterrupt`` (or any other error) mid-campaign leaves a valid
-checkpoint behind; the next run with the same spec resumes from it.
+checkpoint behind; the next run with the same spec resumes from it.  A
+campaign that completed *with* quarantined shards is persisted as a
+partial, never as a snapshot, so a rerun retries only the missing work.
 """
 
 from __future__ import annotations
@@ -49,12 +57,19 @@ from .partition import (
 from .policy import ShardGate, make_policy, policy_signature, realized_margins
 from .spec import CampaignContext, CampaignSpec, build_context
 from .store import CampaignStore
+from .supervisor import RetryPolicy, ShardOutcome, SupervisedPool
 
-__all__ = ["CampaignEngine", "EngineReport", "run_campaign"]
+__all__ = ["CampaignEngine", "EngineReport", "RetryPolicy", "run_campaign"]
 
 #: Shards per worker process: more shards than workers smooths load balance
 #: and tightens checkpoint granularity without measurable overhead.
 SHARDS_PER_JOB = 4
+
+#: Minimum seconds between mid-run partial-checkpoint writes.  Checkpoints
+#: are full-payload JSON documents; writing one per shard made store I/O
+#: scale O(shards) with campaign size.  Exits (exception, quarantine) always
+#: write exactly, so at most one throttle-interval of work is ever at risk.
+CHECKPOINT_INTERVAL = 5.0
 
 
 @dataclass
@@ -75,6 +90,17 @@ class EngineReport:
     #: Injections the sampling policy avoided vs. the flat protocol's
     #: ``nominal × n_ffs`` total (0 for flat).
     injections_saved: int = 0
+    #: Shard re-executions the supervisor performed (failures, timeouts,
+    #: worker losses — every dispatch beyond a shard's first).
+    retries: int = 0
+    #: Worker-pool teardown/rebuild cycles (hung or dead workers).
+    pool_rebuilds: int = 0
+    #: Whether the supervisor gave up on the pool and finished serially.
+    degraded_serial: bool = False
+    #: Shards abandoned after exhausting their retry budget.  Non-empty
+    #: means the result is incomplete (and was persisted as a partial, not
+    #: a snapshot); each entry is a ``QuarantinedShard.to_dict()``.
+    quarantined_shards: List[Dict] = field(default_factory=list)
 
 
 @dataclass
@@ -114,6 +140,41 @@ class _Accumulator:
         return acc
 
 
+def _shard_payload_error(payload: object) -> Optional[str]:
+    """Shape-check one shard payload before it is merged.
+
+    The supervisor applies this to every worker return value: a payload
+    that fails (wrong type, non-integer counters, missing keys — e.g. a
+    torn pickle or a chaos-malformed result) counts as a failed attempt
+    and is retried/quarantined instead of corrupting the merged counters.
+    """
+    if not isinstance(payload, dict):
+        return f"expected dict payload, got {type(payload).__name__}"
+    ff = payload.get("ff")
+    if not isinstance(ff, dict):
+        return "missing or invalid 'ff' counter map"
+    for name, rec in ff.items():
+        if (
+            not isinstance(name, str)
+            or not isinstance(rec, (list, tuple))
+            or len(rec) != 3
+            or not all(isinstance(v, int) for v in rec)
+        ):
+            return f"malformed counter record for {name!r}"
+    for key in ("n_forward_runs", "total_lane_cycles"):
+        if not isinstance(payload.get(key), int):
+            return f"missing or invalid {key!r}"
+    cycles = payload.get("done_cycles")
+    if not isinstance(cycles, list) or not all(isinstance(c, int) for c in cycles):
+        return "missing or invalid 'done_cycles'"
+    skipped = payload.get("skipped", {})
+    if not isinstance(skipped, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) for k, v in skipped.items()
+    ):
+        return "missing or invalid 'skipped'"
+    return None
+
+
 class _ShardRunner:
     """Executes buckets against one injector (one per process).
 
@@ -151,6 +212,7 @@ class _ShardRunner:
         self,
         buckets: Sequence[Tuple[int, Sequence[str]]],
         gate: Optional[ShardGate] = None,
+        attempt: int = 1,
     ) -> Dict:
         """Simulate a shard's buckets; return mergeable counters.
 
@@ -160,12 +222,18 @@ class _ShardRunner:
         retire.  Skipped draws are returned in the payload's ``"skipped"``
         map — they consumed their draw-stream indices without executing.
 
+        *attempt* is the supervisor's 1-based dispatch ordinal for this
+        shard.  Simulation is attempt-independent (retries must stay
+        bit-identical); only the chaos wrapper reads it, to make fault
+        decisions deterministic per (shard, attempt).
+
         The payload also carries the shard's wall time (feeds the engine's
         worker-utilization gauge) and, per backend, a lane-cycles/sec gauge
         observation in the *current* telemetry registry — which is the
         worker's own throwaway registry when running in a pool process, and
         the engine's when running serially.
         """
+        del attempt  # real simulation never varies across retries
         start = time.perf_counter()
         payload = (
             self._run_shard_scheduled(buckets, gate)
@@ -265,46 +333,63 @@ class _ShardRunner:
 
 # --------------------------------------------------- worker process hooks
 
-_WORKER: Optional[_ShardRunner] = None
+_WORKER = None
 
 
-def _worker_init(spec_payload: Dict) -> None:
+def _worker_init(spec_payload: Dict, chaos_payload: Optional[Dict] = None) -> None:
     global _WORKER
     # Forked workers inherit the parent's telemetry — including any open
     # sink file handles — so replace it before building anything, or every
     # worker's synthesize/golden spans would interleave into the parent's
     # stream.
     set_telemetry(Telemetry())
-    _WORKER = _ShardRunner.from_spec(CampaignSpec.from_dict(spec_payload))
+    runner = _ShardRunner.from_spec(CampaignSpec.from_dict(spec_payload))
+    if chaos_payload is not None:
+        # Imported lazily: verify depends on campaigns, not the reverse.
+        from ..verify.chaos import ChaosShardRunner, ChaosSpec
+
+        runner = ChaosShardRunner(
+            runner, ChaosSpec.from_dict(chaos_payload), in_worker=True
+        )
+    _WORKER = runner
 
 
-def _worker_run_shard(shard: List[Tuple[int, Tuple[str, ...]]]) -> Dict:
+def _worker_run_shard(task: Tuple[int, List[Tuple[int, Tuple[str, ...]]]]) -> Dict:
+    """Pool entry point for one flat-path shard.
+
+    *task* is ``(attempt, shard)`` — the supervisor threads the 1-based
+    attempt ordinal through so the chaos wrapper (when installed) makes
+    deterministic per-attempt fault decisions.
+    """
+    attempt, shard = task
     assert _WORKER is not None, "worker used before initialization"
     # Fresh per-shard telemetry: the shard's metrics travel back inside the
     # payload as a mergeable snapshot (the executor absorbs them), instead
     # of accumulating invisibly in the worker process.
     with use_telemetry(Telemetry()) as telemetry:
-        payload = _WORKER.run_shard(shard)
+        payload = _WORKER.run_shard(shard, attempt=attempt)
         payload["metrics"] = telemetry.registry.snapshot().to_payload()
     return payload
 
 
 def _worker_run_shard_gated(
-    task: Tuple[List[Tuple[int, Tuple[str, ...]]], Dict[str, List[int]]]
+    task: Tuple[int, Tuple[List[Tuple[int, Tuple[str, ...]]], Dict[str, List[int]]]]
 ) -> Dict:
     """Pool entry point for one sequential-policy shard.
 
-    *task* is ``(shard, tallies)`` — the shard's buckets plus a snapshot of
-    the campaign-wide ``[n, k, consumed]`` tallies at the round boundary.
-    The worker rebuilds the policy from its spec and gates the shard with a
-    :class:`~repro.campaigns.policy.ShardGate`, so flip-flops whose interval
-    collapses mid-shard stop consuming lanes immediately.
+    *task* is ``(attempt, (shard, tallies))`` — the shard's buckets plus a
+    snapshot of the campaign-wide ``[n, k, consumed]`` tallies at the round
+    boundary.  The worker rebuilds the policy from its spec and gates the
+    shard with a :class:`~repro.campaigns.policy.ShardGate`, so flip-flops
+    whose interval collapses mid-shard stop consuming lanes immediately.
+    ``ShardGate`` copies the tallies, so retried attempts re-gate from the
+    same round-boundary state and stay deterministic.
     """
-    shard, tallies = task
+    attempt, (shard, tallies) = task
     assert _WORKER is not None, "worker used before initialization"
     gate = ShardGate(make_policy(_WORKER.spec), tallies)
     with use_telemetry(Telemetry()) as telemetry:
-        payload = _WORKER.run_shard(shard, gate=gate)
+        payload = _WORKER.run_shard(shard, gate=gate, attempt=attempt)
         payload["metrics"] = telemetry.registry.snapshot().to_payload()
     return payload
 
@@ -317,7 +402,7 @@ def _mp_context():
 
 
 class CampaignEngine:
-    """Parallel, cached, resumable campaign execution.
+    """Parallel, cached, resumable, fault-tolerant campaign execution.
 
     Parameters
     ----------
@@ -341,6 +426,23 @@ class CampaignEngine:
         Minimum seconds between forwarded progress notifications
         (default 0.1); ``0`` restores the historical call-per-shard
         behavior.
+    retry:
+        :class:`~repro.campaigns.supervisor.RetryPolicy` governing shard
+        deadlines, retry budget, backoff, and pool-rebuild limits.
+        Defaults to ``RetryPolicy()`` (3 attempts, no deadline).
+    chaos:
+        Optional :class:`~repro.verify.chaos.ChaosSpec`.  When set, every
+        shard runner (worker and serial) is wrapped in a
+        :class:`~repro.verify.chaos.ChaosShardRunner` that injects
+        deterministic faults — the self-test hook for the supervisor.
+    checkpoint_interval:
+        Minimum seconds between mid-run partial-checkpoint writes
+        (default :data:`CHECKPOINT_INTERVAL`); ``0`` restores the
+        historical write-per-shard behavior.  Exits always write exactly.
+    store:
+        Pre-built :class:`CampaignStore` (overrides *cache_dir*); the
+        chaos harness uses this to inject torn-write faults at the store
+        boundary.
     """
 
     def __init__(
@@ -352,14 +454,23 @@ class CampaignEngine:
         shards_per_job: int = SHARDS_PER_JOB,
         progress: Optional[Callable[[int, int], None]] = None,
         progress_interval: float = 0.1,
+        retry: Optional[RetryPolicy] = None,
+        chaos=None,
+        checkpoint_interval: float = CHECKPOINT_INTERVAL,
+        store: Optional[CampaignStore] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.spec = spec
         self.jobs = jobs
-        self.store = (
-            CampaignStore(Path(cache_dir) / "campaigns") if cache_dir is not None else None
-        )
+        if store is not None:
+            self.store: Optional[CampaignStore] = store
+        else:
+            self.store = (
+                CampaignStore(Path(cache_dir) / "campaigns")
+                if cache_dir is not None
+                else None
+            )
         if context is not None:
             self._validate_context(context)
         self._context = context
@@ -367,6 +478,11 @@ class CampaignEngine:
         self.shards_per_job = max(1, shards_per_job)
         self.progress = progress
         self.progress_interval = progress_interval
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chaos = chaos
+        self.checkpoint_interval = checkpoint_interval
+        self._last_checkpoint = 0.0
+        self._serial: Optional[object] = None
         self._busy_seconds = 0.0
         self.last_report = EngineReport()
         #: Bookkeeping of the most recent sequential-policy run (rounds,
@@ -399,6 +515,24 @@ class CampaignEngine:
             self._context = build_context(self.spec)
         return self._context
 
+    def _serial_runner(self):
+        """The in-process shard runner (built lazily, chaos-wrapped when
+        the engine carries a chaos spec) shared by serial execution and
+        the supervisor's degraded-pool fallback."""
+        if self._serial is None:
+            runner = _ShardRunner(self.spec, self.context)
+            if self.chaos is not None:
+                from ..verify.chaos import ChaosShardRunner
+
+                runner = ChaosShardRunner(runner, self.chaos, in_worker=False)
+            self._serial = runner
+        return self._serial
+
+    def _absorb_supervisor(self, sup: SupervisedPool, report: EngineReport) -> None:
+        report.retries += sup.retries
+        report.pool_rebuilds += sup.rebuilds
+        report.degraded_serial = report.degraded_serial or sup.degraded
+
     # ----------------------------------------------------------------- run
 
     def run(self, resume: bool = True) -> CampaignResult:
@@ -420,6 +554,7 @@ class CampaignEngine:
 
     def _run(self, resume: bool) -> CampaignResult:
         start_time = self._run_start = time.monotonic()
+        self._last_checkpoint = start_time
         spec = self.spec
         report = EngineReport(jobs=self.jobs)
         self.last_report = report
@@ -483,7 +618,16 @@ class CampaignEngine:
             + (time.monotonic() - start_time)
         )
         if self.store is not None:
-            self.store.save_snapshot(spec, result)
+            if report.quarantined_shards:
+                # Incomplete counters must never be served as an exact hit:
+                # persist them as a partial so a rerun retries only the
+                # quarantined buckets.
+                self._checkpoint(base_n, done_cycles, accum)
+                get_telemetry().registry.counter(
+                    "robustness.incomplete_campaigns"
+                ).inc()
+            else:
+                self.store.save_snapshot(spec, result)
         report.wall_seconds = time.monotonic() - start_time
         self._record_run_metrics(report)
         return result
@@ -520,6 +664,13 @@ class CampaignEngine:
         partition, because gating decisions depend on shard-local verdict
         order.  ``target_margin=0.0`` never retires anything and reproduces
         the flat counters bit-for-bit.
+
+        Shards run through the same :class:`SupervisedPool` as the flat
+        path (one supervisor — and one warm worker pool — for the whole
+        campaign).  A quarantined shard's draws are *abandoned*: their
+        ``consumed`` indices advance without executing, so the policy draws
+        fresh replacement indices next round instead of re-allocating the
+        poisoned ranges forever.
         """
         start_time = self._run_start = time.monotonic()
         spec = self.spec
@@ -579,8 +730,34 @@ class CampaignEngine:
                 accum.total_lane_cycles += base.total_lane_cycles
                 accum.wall_seconds += base.wall_seconds
 
-        runner: Optional[_ShardRunner] = None
-        pool = None
+        def serial_fn(payload, attempt: int) -> Dict:
+            shard, tallies_snapshot = payload
+            gate = ShardGate(policy, tallies_snapshot)
+            return self._serial_runner().run_shard(shard, gate=gate, attempt=attempt)
+
+        chaos_payload = self.chaos.to_dict() if self.chaos is not None else None
+        sup = SupervisedPool(
+            _worker_run_shard_gated,
+            jobs=self.jobs,
+            initializer=_worker_init,
+            initargs=(spec.to_dict(), chaos_payload),
+            retry=self.retry,
+            serial_fn=serial_fn,
+            validate=_shard_payload_error,
+            mp_context=_mp_context(),
+        )
+        # The policy checkpoint is a per-flip-flop *cursor* (``consumed``),
+        # which is only truthful at round boundaries: a completed round
+        # executed (or deliberately gate-skipped) every draw of its
+        # contiguous allocation, so the cursor really is a stream prefix.
+        # Mid-round, the merged shards hold an arbitrary *subset* of the
+        # round's slots — checkpointing that state would make a resumed run
+        # re-execute some draws and silently skip others.  The exception
+        # path therefore persists the last round-*start* state, discarding
+        # at most one round of work in exchange for bit-identical resume.
+        safe_tallies = {name: list(rec) for name, rec in tallies.items()}
+        safe_accum = _Accumulator.from_payload(accum.to_payload())
+        clean = False
         try:
             while True:
                 allocation = policy.allocate(tallies, len(window))
@@ -595,30 +772,27 @@ class CampaignEngine:
                 report.n_shards += len(shards)
                 tasks = [[(b.cycle, b.lanes) for b in shard] for shard in shards]
                 snapshot = {name: list(rec) for name, rec in tallies.items()}
-                if self.jobs > 1 and len(tasks) > 1:
-                    if pool is None:
-                        # One pool for the whole campaign: workers rebuild the
-                        # netlist/golden trace once, not once per round.
-                        pool = _mp_context().Pool(
-                            processes=self.jobs,
-                            initializer=_worker_init,
-                            initargs=(spec.to_dict(),),
-                        )
-                    payloads = pool.imap_unordered(
-                        _worker_run_shard_gated, [(task, snapshot) for task in tasks]
-                    )
-                else:
-                    if runner is None:
-                        runner = _ShardRunner(spec, self.context)
-                    serial_runner = runner
-                    payloads = (
-                        serial_runner.run_shard(
-                            task, gate=ShardGate(policy, snapshot)
-                        )
-                        for task in tasks
-                    )
+                payload_tasks = [(task, snapshot) for task in tasks]
                 done_in_round = 0
-                for payload in payloads:
+                for outcome in sup.run(payload_tasks):
+                    done_in_round += 1
+                    if outcome.quarantine is not None:
+                        report.quarantined_shards.append(outcome.quarantine.to_dict())
+                        # The quarantined shard's draws are abandoned, but
+                        # they still consumed their stream indices: advance
+                        # `consumed` so the policy allocates *fresh* draws
+                        # instead of retrying the same poisoned ranges
+                        # every round (which would never terminate).
+                        abandoned = 0
+                        for _cycle, lanes in tasks[outcome.key]:
+                            for name in lanes:
+                                tallies[name][2] += 1
+                                abandoned += 1
+                        registry.counter("robustness.abandoned_draws").inc(abandoned)
+                        if self.progress is not None:
+                            self.progress(done_in_round, len(tasks))
+                        continue
+                    payload = outcome.payload
                     accum.merge_shard(payload)
                     report.executed_buckets += len(payload["done_cycles"])
                     report.executed_forward_runs += payload["n_forward_runs"]
@@ -642,17 +816,20 @@ class CampaignEngine:
                     for name, count in payload.get("skipped", {}).items():
                         tallies[name][2] += count
                         registry.counter("policy.shard_skips").inc(count)
-                    done_in_round += 1
                     if self.progress is not None:
                         self.progress(done_in_round, len(tasks))
                 self._policy_checkpoint(signature, tallies, accum)
+                safe_tallies = {name: list(rec) for name, rec in tallies.items()}
+                safe_accum = _Accumulator.from_payload(accum.to_payload())
+            clean = True
         except BaseException:
-            self._policy_checkpoint(signature, tallies, accum)
+            self._policy_checkpoint(signature, safe_tallies, safe_accum)
             raise
         finally:
-            if pool is not None:
-                pool.terminate()
-                pool.join()
+            # Clean exits let in-flight worker teardown finish
+            # (close/join); the exception path terminates immediately.
+            sup.shutdown(clean)
+            self._absorb_supervisor(sup, report)
 
         result = CampaignResult(
             circuit=spec.circuit, n_injections=spec.n_injections, seed=spec.seed
@@ -693,10 +870,15 @@ class CampaignEngine:
             "injections_saved": saved,
             "realized_margin_max": worst,
             "realized_margin_mean": mean,
+            "quarantined_shards": len(report.quarantined_shards),
         }
         self.last_policy_meta = meta
         if self.store is not None:
-            self.store.save_policy_snapshot(spec, signature, result, meta)
+            if report.quarantined_shards:
+                self._policy_checkpoint(signature, tallies, accum)
+                registry.counter("robustness.incomplete_campaigns").inc()
+            else:
+                self.store.save_policy_snapshot(spec, signature, result, meta)
         report.wall_seconds = time.monotonic() - start_time
         self._record_run_metrics(report)
         return result
@@ -715,7 +897,7 @@ class CampaignEngine:
 
     def _consume(
         self,
-        shard_payloads: Iterable[Dict],
+        outcomes: Iterable[ShardOutcome],
         total: int,
         accum: _Accumulator,
         done_cycles: Set[int],
@@ -752,7 +934,13 @@ class CampaignEngine:
 
         throttled = ProgressThrottle(notify, min_interval=self.progress_interval)
         done = 0
-        for payload in shard_payloads:
+        for outcome in outcomes:
+            done += 1
+            if outcome.quarantine is not None:
+                report.quarantined_shards.append(outcome.quarantine.to_dict())
+                throttled(done, total)
+                continue
+            payload = outcome.payload
             accum.merge_shard(payload)
             done_cycles.update(payload["done_cycles"])
             report.executed_buckets += len(payload["done_cycles"])
@@ -765,9 +953,8 @@ class CampaignEngine:
                 registry.absorb(MetricsSnapshot.from_payload(metrics))
             registry.counter("campaign.shard_merges").inc()
             registry.counter("campaign.injections").inc(shard_lanes)
-            done += 1
             if done < total:  # final state is persisted as a snapshot instead
-                self._checkpoint(base_n, done_cycles, accum)
+                self._maybe_checkpoint(base_n, done_cycles, accum)
             throttled(done, total)
 
     def _run_serial(
@@ -779,13 +966,32 @@ class CampaignEngine:
     ) -> None:
         if not shards:
             return
-        runner = _ShardRunner(self.spec, self.context)
-        payloads = (
-            runner.run_shard([(b.cycle, b.lanes) for b in shard]) for shard in shards
+        tasks = [[(b.cycle, b.lanes) for b in shard] for shard in shards]
+
+        def serial_fn(payload, attempt: int) -> Dict:
+            return self._serial_runner().run_shard(payload, attempt=attempt)
+
+        sup = SupervisedPool(
+            _worker_run_shard,
+            jobs=1,
+            retry=self.retry,
+            serial_fn=serial_fn,
+            validate=_shard_payload_error,
         )
-        self._consume(
-            payloads, len(shards), accum, done_cycles, report, report.base_injections
-        )
+        clean = False
+        try:
+            self._consume(
+                sup.run(tasks),
+                len(tasks),
+                accum,
+                done_cycles,
+                report,
+                report.base_injections,
+            )
+            clean = True
+        finally:
+            sup.shutdown(clean)
+            self._absorb_supervisor(sup, report)
 
     def _run_parallel(
         self,
@@ -794,23 +1000,56 @@ class CampaignEngine:
         done_cycles: Set[int],
         report: EngineReport,
     ) -> None:
-        ctx = _mp_context()
         tasks = [[(b.cycle, b.lanes) for b in shard] for shard in shards]
-        with ctx.Pool(
-            processes=min(self.jobs, len(shards)),
+        chaos_payload = self.chaos.to_dict() if self.chaos is not None else None
+
+        def serial_fn(payload, attempt: int) -> Dict:
+            return self._serial_runner().run_shard(payload, attempt=attempt)
+
+        sup = SupervisedPool(
+            _worker_run_shard,
+            jobs=min(self.jobs, len(shards)),
             initializer=_worker_init,
-            initargs=(self.spec.to_dict(),),
-        ) as pool:
+            initargs=(self.spec.to_dict(), chaos_payload),
+            retry=self.retry,
+            serial_fn=serial_fn,
+            validate=_shard_payload_error,
+            mp_context=_mp_context(),
+        )
+        clean = False
+        try:
             self._consume(
-                pool.imap_unordered(_worker_run_shard, tasks),
-                len(shards),
+                sup.run(tasks),
+                len(tasks),
                 accum,
                 done_cycles,
                 report,
                 report.base_injections,
             )
+            clean = True
+        finally:
+            sup.shutdown(clean)
+            self._absorb_supervisor(sup, report)
 
     # ------------------------------------------------------------- plumbing
+
+    def _maybe_checkpoint(
+        self, base_n: int, done_cycles: Set[int], accum: _Accumulator
+    ) -> None:
+        """Throttled mid-run checkpoint: skip when the last write is recent.
+
+        Checkpoints are full-payload JSON writes, so per-shard writes made
+        store I/O O(shards).  Exit paths (exception, quarantine completion)
+        call :meth:`_checkpoint` directly and always write, bounding lost
+        work to one throttle interval.
+        """
+        if (
+            self.checkpoint_interval > 0
+            and (time.monotonic() - self._last_checkpoint) < self.checkpoint_interval
+        ):
+            get_telemetry().registry.counter("store.checkpoint_skips").inc()
+            return
+        self._checkpoint(base_n, done_cycles, accum)
 
     def _checkpoint(
         self, base_n: int, done_cycles: Set[int], accum: _Accumulator
@@ -823,6 +1062,7 @@ class CampaignEngine:
             self.store.save_partial(
                 self.spec, base_n, self.spec.n_injections, done_cycles, payload
             )
+            self._last_checkpoint = time.monotonic()
 
     def _assemble(
         self,
@@ -862,6 +1102,8 @@ def run_campaign(
     context: Optional[CampaignContext] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     progress_interval: float = 0.1,
+    retry: Optional[RetryPolicy] = None,
+    chaos=None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
@@ -871,5 +1113,7 @@ def run_campaign(
         context=context,
         progress=progress,
         progress_interval=progress_interval,
+        retry=retry,
+        chaos=chaos,
     )
     return engine.run(resume=resume)

@@ -8,11 +8,16 @@ One JSON document per campaign *family* (see
   simulations; with the ``stream`` schedule a smaller stored budget seeds an
   incremental top-up (only the delta draws are simulated);
 * ``partial`` — a mid-run checkpoint (completed time-slot buckets plus the
-  accumulated per-flip-flop counts) written after every shard, so an
+  accumulated per-flip-flop counts) written on a throttled interval, so an
   interrupted campaign resumes where it stopped.
 
-Writes are atomic (temp file + ``os.replace``), so a crash mid-write never
-corrupts previously stored results.
+Writes are atomic and durable (temp file + ``fsync`` + ``os.replace``), so
+a crash — even a power loss — mid-write never corrupts previously stored
+results.  A shard file that is nonetheless unreadable (torn by an external
+writer, hand-edited, bit-rotted) is *quarantined*: renamed to
+``<name>.corrupt`` and counted in the ``store.corrupt_files`` telemetry
+counter, so operators see the data loss instead of a silent cache miss —
+and the damaged bytes stay on disk for postmortem inspection.
 """
 
 from __future__ import annotations
@@ -65,34 +70,92 @@ class CampaignStore:
 
         A truncated or hand-edited shard must never crash a campaign — the
         engine treats ``None`` as "nothing cached" and recomputes — so shape
-        is validated here along with JSON well-formedness.
+        is validated here along with JSON well-formedness.  Unusable files
+        are quarantined (renamed to ``*.corrupt`` + ``store.corrupt_files``
+        counter) rather than silently shadowing every future lookup; only a
+        *newer* ``store_version`` is left in place untouched, since the file
+        is presumably healthy for the newer code that wrote it.
         """
         path = self.path_for(spec)
         if not path.exists():
             return None
         try:
             doc = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError as exc:
+            # Unreadable but present (permissions, I/O error): renaming
+            # would likely fail too — count it, leave it.
+            self._count_corrupt(path, f"unreadable: {exc}", rename=False)
+            return None
+        except json.JSONDecodeError as exc:
+            self._quarantine(path, f"invalid JSON: {exc}")
             return None
         if not isinstance(doc, dict):
+            self._quarantine(path, "top-level document is not an object")
             return None
         if doc.get("store_version", 0) > STORE_VERSION:
             return None
         if doc.get("family") != spec.family_key():
+            self._quarantine(path, "family key mismatch")
             return None
         if not isinstance(doc.get("snapshots"), dict):
+            self._quarantine(path, "missing snapshots map")
             return None
         partial = doc.get("partial")
         if partial is not None and not isinstance(partial, dict):
+            self._quarantine(path, "malformed partial checkpoint")
             return None
         return doc
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a damaged shard aside as ``<name>.corrupt`` for postmortem."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            self._count_corrupt(path, reason, rename=False)
+            return
+        self._count_corrupt(path, reason, rename=True)
+
+    @staticmethod
+    def _count_corrupt(path: Path, reason: str, rename: bool) -> None:
+        telemetry = get_telemetry()
+        telemetry.registry.counter("store.corrupt_files").inc()
+        if telemetry.active:
+            telemetry.emit(
+                {
+                    "event": "store_corrupt",
+                    "path": str(path),
+                    "reason": reason,
+                    "quarantined": rename,
+                }
+            )
 
     def _write(self, spec: CampaignSpec, doc: Dict) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(doc))
+        # fsync before the rename: os.replace alone is atomic against
+        # concurrent readers but not against power loss — the metadata can
+        # land before the data blocks, leaving a truncated "committed" file.
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(doc))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        self._fsync_dir(path.parent)
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Best-effort directory fsync so the rename itself is durable."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fsync unsupported on dirs
+            pass
+        finally:
+            os.close(fd)
 
     def _doc(self, spec: CampaignSpec) -> Dict:
         doc = self._read(spec)

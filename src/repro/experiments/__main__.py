@@ -119,10 +119,21 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
         f"cache={cache_dir}",
         flush=True,
     )
+    retry = None
+    if args.shard_timeout is not None or args.shard_retries is not None:
+        from ..campaigns.supervisor import RetryPolicy
+
+        retry_kwargs = {}
+        if args.shard_timeout is not None:
+            retry_kwargs["shard_timeout"] = args.shard_timeout
+        if args.shard_retries is not None:
+            retry_kwargs["max_attempts"] = args.shard_retries
+        retry = RetryPolicy(**retry_kwargs)
     engine = CampaignEngine(
         spec,
         jobs=args.jobs,
         cache_dir=cache_dir,
+        retry=retry,
         # --live renders progress through the telemetry sink instead of
         # printed shard lines (both would fight over the terminal).
         progress=(
@@ -176,6 +187,15 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
             f"max {meta['realized_margin_max']:.4f} / "
             f"mean {meta['realized_margin_mean']:.4f}"
         )
+    if report.retries or report.pool_rebuilds or report.quarantined_shards:
+        print(
+            f"robustness: {report.retries} shard retries, "
+            f"{report.pool_rebuilds} pool rebuilds, "
+            f"{len(report.quarantined_shards)} quarantined shards"
+            + (" (degraded to serial)" if report.degraded_serial else "")
+        )
+        for entry in report.quarantined_shards:
+            print(f"  quarantined shard {entry['shard']}: {entry['reason']}")
     print(f"mean FDR: {result.mean_fdr():.4f}, wall: {report.wall_seconds:.2f}s")
     if profiler is not None:
         import pstats
@@ -231,6 +251,53 @@ def run_verify_command(args, out_dir: Optional[Path]) -> int:
         )
         return 1
     print("all backends agree")
+
+    if args.chaos_trials > 0:
+        from ..verify.chaos import ChaosTrialError, run_chaos_trials
+
+        print(
+            f"=== chaos === trials={args.chaos_trials} (base {args.seed}) "
+            f"jobs={max(2, args.jobs)}",
+            flush=True,
+        )
+        try:
+            reports = run_chaos_trials(
+                args.chaos_trials,
+                jobs=max(2, args.jobs),
+                seed_base=args.seed,
+            )
+        except ChaosTrialError as exc:
+            print(f"CHAOS DIVERGENCE — {exc}")
+            return 1
+        for report in reports:
+            faults = ", ".join(
+                f"{kind}={count}" for kind, count in report.faults.items() if count
+            )
+            print(
+                f"  trial {report.trial} ({report.flavor}): recovered "
+                f"bit-identically in {report.wall_seconds:.2f}s — "
+                f"{report.retries} retries, {report.pool_rebuilds} rebuilds, "
+                f"{report.corrupt_files} quarantined files"
+                + (f" [{faults}]" if faults else "")
+            )
+        if out_dir is not None:
+            payload = [
+                {
+                    "trial": r.trial,
+                    "flavor": r.flavor,
+                    "seed": r.seed,
+                    "matched": r.matched,
+                    "retries": r.retries,
+                    "pool_rebuilds": r.pool_rebuilds,
+                    "quarantined": r.quarantined,
+                    "corrupt_files": r.corrupt_files,
+                    "faults": r.faults,
+                    "wall_seconds": r.wall_seconds,
+                }
+                for r in reports
+            ]
+            (out_dir / "chaos.json").write_text(json.dumps(payload, indent=2))
+        print("campaign engine recovered bit-identically from every fault plan")
     return 0
 
 
@@ -399,6 +466,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="verify command only: number of fuzzed circuits to cross-check "
         "(seeds --seed .. --seed + N - 1)",
     )
+    parser.add_argument(
+        "--chaos-trials",
+        type=int,
+        default=0,
+        help="verify command only: additionally run N seeded chaos trials "
+        "(worker kills, shard timeouts, torn store writes) asserting the "
+        "supervised executor recovers bit-identically (see "
+        "docs/robustness.md; default: 0, disabled)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="campaign command only: per-shard deadline in seconds; a shard "
+        "exceeding it is retried on a rebuilt worker pool (default: no "
+        "deadline)",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=None,
+        help="campaign command only: executions granted to one shard before "
+        "it is quarantined (default: 3)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -406,6 +497,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--injections must be >= 1")
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
+    if args.chaos_trials < 0:
+        parser.error("--chaos-trials must be >= 0")
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        parser.error("--shard-timeout must be positive")
+    if args.shard_retries is not None and args.shard_retries < 1:
+        parser.error("--shard-retries must be >= 1")
     if not 0.0 <= args.target_margin < 1.0:
         parser.error("--target-margin must be in [0, 1)")
 

@@ -8,8 +8,22 @@ interpreter that shares no code with either backend
 (:mod:`~repro.verify.oracle`), and a harness that cross-checks all three
 engines plus the fault injector and pinpoints the first divergence
 (:mod:`~repro.verify.diff`).
+
+The same philosophy is applied to the execution layer itself by
+:mod:`~repro.verify.chaos`: a seeded chaos harness that kills, hangs and
+corrupts the campaign engine's own workers and store writes, asserting
+that the supervised executor recovers to bit-identical results.
 """
 
+from .chaos import (
+    ChaosCampaignStore,
+    ChaosFault,
+    ChaosShardRunner,
+    ChaosSpec,
+    ChaosTrialError,
+    ChaosTrialReport,
+    run_chaos_trials,
+)
 from .diff import (
     FAULT_MODEL_CHECK_SPECS,
     Divergence,
@@ -37,6 +51,13 @@ from .fuzzer import (
 from .oracle import ORACLE_FUNCTIONS, OracleSimulator
 
 __all__ = [
+    "ChaosCampaignStore",
+    "ChaosFault",
+    "ChaosShardRunner",
+    "ChaosSpec",
+    "ChaosTrialError",
+    "ChaosTrialReport",
+    "run_chaos_trials",
     "Divergence",
     "SeedReport",
     "VerifySummary",

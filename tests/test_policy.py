@@ -362,8 +362,18 @@ def test_sequential_interrupt_resumes_from_policy_checkpoint(tmp_path):
     class Interrupted(Exception):
         pass
 
+    # The policy checkpoint is written at round boundaries only (a
+    # mid-round cursor would not be a draw-stream prefix — see
+    # docs/robustness.md), so interrupt on the first shard of round 2:
+    # round 1's checkpoint must be on disk by then.
+    seen_round_end = False
+
     def bomb(done, total):
-        raise Interrupted
+        nonlocal seen_round_end
+        if seen_round_end:
+            raise Interrupted
+        if done == total:
+            seen_round_end = True
 
     engine = CampaignEngine(
         spec, cache_dir=tmp_path, progress=bomb, progress_interval=0.0

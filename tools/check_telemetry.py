@@ -12,16 +12,22 @@ Checks applied to every file:
 
 * each line parses as a JSON object with a known ``event`` type
   (``provenance``, ``span_begin``, ``span_end``, ``metrics``,
-  ``progress``) and a numeric ``ts`` stamp;
+  ``progress``, ``store_corrupt``) and a numeric ``ts`` stamp;
 * ``span_begin``/``span_end`` pairs balance — same ``name``/``parent``
   per span id, every end has a begin, ``seconds >= 0``;
 * ``metrics`` events carry the mergeable-snapshot payload shape
   (``counters``/``gauges``/``hists`` dicts);
-* ``progress`` events carry integer ``done <= total``.
+* ``progress`` events carry integer ``done <= total``;
+* ``store_corrupt`` events (a quarantined store shard) carry string
+  ``path``/``reason``.
 
 ``--require-span`` / ``--require-metric`` (repeatable) additionally assert
 that a named span completed and that a named counter/gauge/histogram
-appears in some ``metrics`` event.  Exit status 0 = valid.
+appears in some ``metrics`` event.  ``--require-metric-prefix``
+(repeatable) asserts that at least one observed metric starts with the
+given prefix — the CI chaos job uses it to pin the supervisor's
+``robustness.*`` family (retries, timeouts, quarantines, pool rebuilds)
+without enumerating every counter.  Exit status 0 = valid.
 """
 
 from __future__ import annotations
@@ -32,7 +38,14 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Set
 
-KNOWN_EVENTS = {"provenance", "span_begin", "span_end", "metrics", "progress"}
+KNOWN_EVENTS = {
+    "provenance",
+    "span_begin",
+    "span_end",
+    "metrics",
+    "progress",
+    "store_corrupt",
+}
 
 
 class TelemetryError(Exception):
@@ -107,6 +120,10 @@ def validate_file(path: Path) -> Dict[str, Set[str]]:
                     raise _fail(lineno, "progress needs integer 'done' and 'total'")
                 if done > total:
                     raise _fail(lineno, f"progress done={done} > total={total}")
+            elif kind == "store_corrupt":
+                for field in ("path", "reason"):
+                    if not isinstance(event.get(field), str):
+                        raise _fail(lineno, f"store_corrupt needs string {field!r}")
 
     if events_seen == 0:
         raise TelemetryError(f"{path}: no telemetry events at all")
@@ -132,6 +149,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=[],
         metavar="NAME",
         help="assert this metric appears in a metrics event (repeatable)",
+    )
+    parser.add_argument(
+        "--require-metric-prefix",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="assert at least one observed metric starts with this prefix "
+        "(repeatable), e.g. 'robustness.'",
     )
     args = parser.parse_args(argv)
 
@@ -162,10 +187,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name not in seen_metrics:
             print(f"ERROR: required metric {name!r} never reported", file=sys.stderr)
             status = 1
-    if status == 0 and (args.require_span or args.require_metric):
+    for prefix in args.require_metric_prefix:
+        if not any(name.startswith(prefix) for name in seen_metrics):
+            print(
+                f"ERROR: no observed metric starts with {prefix!r}", file=sys.stderr
+            )
+            status = 1
+    if status == 0 and (
+        args.require_span or args.require_metric or args.require_metric_prefix
+    ):
         print(
             f"required spans/metrics present: "
-            f"{args.require_span + args.require_metric}"
+            f"{args.require_span + args.require_metric + args.require_metric_prefix}"
         )
     return status
 
