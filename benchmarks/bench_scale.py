@@ -1,0 +1,189 @@
+"""Benchmark: warm-start substrate scaling over generated circuit sizes.
+
+Two measurements, both recorded with an explicit ``circuit_size`` (flip-flop
+count) so the trajectory history can plot cost against scale:
+
+* **worker start** — seconds until a worker process holds a usable shard
+  runner: the cold path (``_ShardRunner.from_spec``: synthesize, record the
+  golden trace, code-generate kernels) against the warm path
+  (:func:`repro.campaigns.warmstart.resolve_runner` on the fork-inherited
+  cache).  This is the per-worker tax the warm-start layer removes — it used
+  to be paid by *every* worker, every pool rebuild and every
+  ``maxtasksperchild`` recycle;
+* **campaign sweep** — full mini campaigns per generated circuit size, cold
+  engine vs warm engine, bit-identity asserted, with effective injection
+  throughput.
+
+Run standalone::
+
+    python benchmarks/bench_scale.py --circuits mesh_tiny mesh_2k
+    python benchmarks/bench_scale.py --scale mini --trajectory
+
+The ``--scale`` sweep measures the paper-scale xgmac campaign's worker
+start, the headline warm-vs-cold number the docs quote.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.campaigns import CampaignEngine, CampaignSpec, release_warm_cache
+from repro.campaigns.executor import _ShardRunner
+from repro.campaigns.warmstart import ensure_runner, resolve_runner
+from repro.circuits.generator import GENERATED_CIRCUITS, GENERATED_FF_COUNTS
+from repro.data import DATASET_PRESETS
+
+from common import campaign_spec as _spec_for_scale
+from common import result_counters as _result_key
+from common import add_result_args, emit_result
+
+#: Default size sweep: small enough for CI, two families, ~16x size spread.
+DEFAULT_CIRCUITS = ["mesh_tiny", "mesh_2k", "pipe_2k"]
+
+
+def generated_spec(circuit: str, n_injections: int) -> CampaignSpec:
+    """A mini campaign on a generated composite (strict any-output verdicts)."""
+    return CampaignSpec(
+        circuit=circuit,
+        criterion="any_output",
+        n_frames=2,
+        min_len=2,
+        max_len=3,
+        gap=8,
+        workload_seed=7,
+        n_injections=n_injections,
+        seed=5,
+        schedule="stream",
+    )
+
+
+def measure_worker_start(spec: CampaignSpec, circuit_size: Optional[int]) -> Dict:
+    """Cold vs warm time-to-usable-runner for one campaign spec."""
+    release_warm_cache()
+    start = time.perf_counter()
+    _ShardRunner.from_spec(spec)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ensure_runner(spec, _ShardRunner)
+    parent_warmup = time.perf_counter() - start
+    start = time.perf_counter()
+    runner = resolve_runner(spec)
+    warm = time.perf_counter() - start
+    assert runner is not None, "warm cache must hold the runner after ensure"
+    return {
+        "circuit": spec.circuit,
+        "circuit_size": circuit_size,
+        "cold_start_seconds": round(cold, 4),
+        "parent_warmup_seconds": round(parent_warmup, 4),
+        "warm_start_seconds": round(warm, 6),
+        "warm_speedup": round(cold / max(warm, 1e-9), 1),
+    }
+
+
+def run_size_sweep(circuits: List[str], n_injections: int, jobs: int) -> List[Dict]:
+    """Cold+warm campaigns per circuit size; results must be bit-identical."""
+    rows: List[Dict] = []
+    for circuit in circuits:
+        spec = generated_spec(circuit, n_injections)
+        start_row = measure_worker_start(spec, GENERATED_FF_COUNTS.get(circuit))
+        release_warm_cache()
+
+        cold_engine = CampaignEngine(spec, jobs=jobs)
+        start = time.perf_counter()
+        cold_result = cold_engine.run()
+        cold_wall = time.perf_counter() - start
+
+        warm_engine = CampaignEngine(spec, jobs=jobs)
+        start = time.perf_counter()
+        warm_result = warm_engine.run()
+        warm_wall = time.perf_counter() - start
+
+        identical = _result_key(cold_result) == _result_key(warm_result)
+        if not identical:
+            raise AssertionError(f"{circuit}: warm result differs from cold")
+        injections = sum(r.n_injections for r in warm_result.results.values())
+        rows.append(
+            {
+                **start_row,
+                "jobs": jobs,
+                "n_injections": injections,
+                "cold_wall_seconds": round(cold_wall, 3),
+                "warm_wall_seconds": round(warm_wall, 3),
+                "engine_warmup_seconds": round(cold_engine.last_report.warmup_seconds, 3),
+                "injections_per_sec": round(injections / warm_wall, 1),
+                "lane_cycles_per_sec": round(warm_result.total_lane_cycles / warm_wall),
+                "identical": identical,
+            }
+        )
+        release_warm_cache()
+    return rows
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--circuits",
+        nargs="+",
+        default=DEFAULT_CIRCUITS,
+        choices=GENERATED_CIRCUITS,
+        help="generated circuit presets to sweep",
+    )
+    parser.add_argument("--injections", type=int, default=2, help="per flip-flop")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--scale",
+        default="mini",
+        choices=sorted(DATASET_PRESETS),
+        help="xgmac preset for the headline worker-start measurement",
+    )
+    add_result_args(parser)
+    args = parser.parse_args(argv)
+
+    xgmac = measure_worker_start(_spec_for_scale(args.scale), circuit_size=None)
+    release_warm_cache()
+    print(
+        f"xgmac[{args.scale}] worker start: cold {xgmac['cold_start_seconds']:.3f}s"
+        f" -> warm {xgmac['warm_start_seconds'] * 1e3:.3f}ms"
+        f" ({xgmac['warm_speedup']:.0f}x)"
+    )
+
+    rows = run_size_sweep(args.circuits, args.injections, args.jobs)
+    header = (
+        f"{'circuit':>10} {'FFs':>7} {'cold start':>11} {'warm start':>11} "
+        f"{'cold wall':>10} {'warm wall':>10} {'inj/s':>8}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row['circuit']:>10} {row['circuit_size']:>7} "
+            f"{row['cold_start_seconds']:>10.3f}s {row['warm_start_seconds'] * 1e3:>9.3f}ms "
+            f"{row['cold_wall_seconds']:>9.3f}s {row['warm_wall_seconds']:>9.3f}s "
+            f"{row['injections_per_sec']:>8.0f}"
+        )
+
+    payload = {"scale": args.scale, "xgmac_worker_start": xgmac, "rows": rows}
+    emit_result(args, "scale", payload)
+    return 0
+
+
+# ------------------------------------------------------------ pytest hooks
+
+
+def test_bench_scale_worker_start(benchmark):
+    """Warm worker start must beat the cold build by well over the 5x bar."""
+    spec = generated_spec("mesh_tiny", n_injections=2)
+    row = benchmark.pedantic(
+        lambda: measure_worker_start(spec, GENERATED_FF_COUNTS["mesh_tiny"]),
+        rounds=1,
+        iterations=1,
+    )
+    release_warm_cache()
+    assert row["warm_speedup"] >= 5.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,11 @@ philosophy to our own compute:
 * :mod:`~repro.campaigns.supervisor` — the fault-tolerant dispatcher under
   the engine: shard deadlines, bounded retry with backoff, dead-worker
   detection and pool rebuild, poison-shard quarantine, and graceful
-  degradation to serial execution.
+  degradation to serial execution;
+* :mod:`~repro.campaigns.warmstart` — the process-lifetime warm-start
+  cache: resident contexts and shard runners that fork-start workers (and
+  pool rebuilds) inherit instead of re-deriving, shared-memory golden
+  traces, and the packed shard-tally transport.
 """
 
 from .executor import CampaignEngine, EngineReport, RetryPolicy, run_campaign
@@ -46,6 +50,13 @@ from .policy import (
 from .spec import CampaignContext, CampaignSpec, build_context
 from .store import CampaignStore
 from .supervisor import QuarantinedShard, ShardOutcome, SupervisedPool
+from .warmstart import (
+    SharedPackedRows,
+    active_segment_names,
+    release_warm_cache,
+    warm_context,
+    warm_stats,
+)
 
 __all__ = [
     "Bucket",
@@ -63,13 +74,18 @@ __all__ = [
     "SequentialWilsonPolicy",
     "ShardGate",
     "ShardOutcome",
+    "SharedPackedRows",
     "SupervisedPool",
+    "active_segment_names",
     "build_context",
     "legacy_buckets",
     "make_policy",
     "partition_shards",
     "policy_signature",
+    "release_warm_cache",
     "run_campaign",
     "stream_buckets",
     "stream_buckets_ranged",
+    "warm_context",
+    "warm_stats",
 ]

@@ -47,6 +47,7 @@ from ..obs import (
     set_telemetry,
     use_telemetry,
 )
+from . import warmstart
 from .partition import (
     Bucket,
     legacy_buckets,
@@ -101,6 +102,16 @@ class EngineReport:
     #: means the result is incomplete (and was persisted as a partial, not
     #: a snapshot); each entry is a ``QuarantinedShard.to_dict()``.
     quarantined_shards: List[Dict] = field(default_factory=list)
+    #: Seconds spent building warm-cache entries (context, golden trace,
+    #: shard runner) that were not already resident in this process.
+    warmup_seconds: float = 0.0
+    #: Warm-cache runner lookups that found a resident runner / had to
+    #: build one (see :mod:`repro.campaigns.warmstart`).
+    warm_hits: int = 0
+    warm_misses: int = 0
+    #: Pool rebuilds whose replacement workers re-forked from the parent's
+    #: warm cache instead of re-deriving the execution environment.
+    warm_rebuild_reuses: int = 0
 
 
 @dataclass
@@ -153,14 +164,20 @@ def _shard_payload_error(payload: object) -> Optional[str]:
     ff = payload.get("ff")
     if not isinstance(ff, dict):
         return "missing or invalid 'ff' counter map"
-    for name, rec in ff.items():
-        if (
-            not isinstance(name, str)
-            or not isinstance(rec, (list, tuple))
-            or len(rec) != 3
-            or not all(isinstance(v, int) for v in rec)
-        ):
-            return f"malformed counter record for {name!r}"
+    if isinstance(ff.get("idx"), bytes):
+        # Packed tally transport (see warmstart.pack_tallies).
+        packed_error = warmstart.validate_packed_tally(ff)
+        if packed_error is not None:
+            return packed_error
+    else:
+        for name, rec in ff.items():
+            if (
+                not isinstance(name, str)
+                or not isinstance(rec, (list, tuple))
+                or len(rec) != 3
+                or not all(isinstance(v, int) for v in rec)
+            ):
+                return f"malformed counter record for {name!r}"
     for key in ("n_forward_runs", "total_lane_cycles"):
         if not isinstance(payload.get(key), int):
             return f"missing or invalid {key!r}"
@@ -242,6 +259,10 @@ class _ShardRunner:
         )
         wall = time.perf_counter() - start
         payload["wall_seconds"] = wall
+        # Dense index/counts transport instead of a name-keyed dict: on wide
+        # circuits the flip-flop name strings dominate the result pickle.
+        # The engine rehydrates against the netlist's canonical order.
+        payload["ff"] = warmstart.pack_tallies(payload["ff"], self.injector.ff_index)
         registry = get_telemetry().registry
         registry.timer("executor.shard_seconds").observe(wall)
         if wall > 0:
@@ -334,16 +355,29 @@ class _ShardRunner:
 # --------------------------------------------------- worker process hooks
 
 _WORKER = None
+#: The spec this worker was initialized for.  Distinct from ``_WORKER.spec``:
+#: a warm-cache runner is shared by every spec of its campaign family, so its
+#: ``.spec`` may differ in the family-excluded fields (``n_injections``,
+#: ``policy``, ``target_margin``) — anything policy-shaped must derive from
+#: the init-time spec, not the runner's.
+_WORKER_SPEC: Optional[CampaignSpec] = None
 
 
 def _worker_init(spec_payload: Dict, chaos_payload: Optional[Dict] = None) -> None:
-    global _WORKER
+    global _WORKER, _WORKER_SPEC
     # Forked workers inherit the parent's telemetry — including any open
     # sink file handles — so replace it before building anything, or every
     # worker's synthesize/golden spans would interleave into the parent's
     # stream.
     set_telemetry(Telemetry())
-    runner = _ShardRunner.from_spec(CampaignSpec.from_dict(spec_payload))
+    spec = _WORKER_SPEC = CampaignSpec.from_dict(spec_payload)
+    # Fork-start workers inherit the parent's warm cache: resolve the
+    # resident runner (netlist, golden trace, compiled kernels already
+    # built) instead of re-deriving everything from the spec.  Spawn-start
+    # platforms and standalone workers miss and cold-build as before.
+    runner = warmstart.resolve_runner(spec)
+    if runner is None:
+        runner = _ShardRunner.from_spec(spec)
     if chaos_payload is not None:
         # Imported lazily: verify depends on campaigns, not the reverse.
         from ..verify.chaos import ChaosShardRunner, ChaosSpec
@@ -379,7 +413,8 @@ def _worker_run_shard_gated(
 
     *task* is ``(attempt, (shard, tallies))`` — the shard's buckets plus a
     snapshot of the campaign-wide ``[n, k, consumed]`` tallies at the round
-    boundary.  The worker rebuilds the policy from its spec and gates the
+    boundary.  The worker rebuilds the policy from its init-time spec (not
+    the runner's — a warm runner may carry a family sibling's) and gates the
     shard with a :class:`~repro.campaigns.policy.ShardGate`, so flip-flops
     whose interval collapses mid-shard stop consuming lanes immediately.
     ``ShardGate`` copies the tallies, so retried attempts re-gate from the
@@ -387,7 +422,7 @@ def _worker_run_shard_gated(
     """
     attempt, (shard, tallies) = task
     assert _WORKER is not None, "worker used before initialization"
-    gate = ShardGate(make_policy(_WORKER.spec), tallies)
+    gate = ShardGate(make_policy(_WORKER_SPEC), tallies)
     with use_telemetry(Telemetry()) as telemetry:
         payload = _WORKER.run_shard(shard, gate=gate, attempt=attempt)
         payload["metrics"] = telemetry.registry.snapshot().to_payload()
@@ -484,6 +519,9 @@ class CampaignEngine:
         self._last_checkpoint = 0.0
         self._serial: Optional[object] = None
         self._busy_seconds = 0.0
+        self._warmup_seconds = 0.0
+        self._context_warmed = False
+        self._ff_order_cache: Optional[List[str]] = None
         self.last_report = EngineReport()
         #: Bookkeeping of the most recent sequential-policy run (rounds,
         #: injections saved, realized margins); empty for flat runs.
@@ -511,16 +549,60 @@ class CampaignEngine:
 
     @property
     def context(self) -> CampaignContext:
-        if self._context is None:
-            self._context = build_context(self.spec)
+        """The execution environment, resolved through the process-wide warm
+        cache: a caller-provided context is adopted into the cache (fixing
+        the historical double build on the serial path), an absent one
+        resolves to the family's resident context or is built exactly once
+        per process (see :mod:`repro.campaigns.warmstart`)."""
+        if not self._context_warmed:
+            start = time.perf_counter()
+            self._context, hit = warmstart.warm_context(self.spec, self._context)
+            self._context_warmed = True
+            if not hit:
+                self._warmup_seconds += time.perf_counter() - start
         return self._context
 
+    def _ff_order(self) -> List[str]:
+        """Canonical flip-flop order (netlist insertion order — the same
+        ordering every simulator's ``ff_index`` assigns), used to rehydrate
+        packed shard tallies."""
+        if self._ff_order_cache is None:
+            self._ff_order_cache = [ff.name for ff in self.context.netlist.flip_flops()]
+        return self._ff_order_cache
+
+    def _decode_ff(self, payload: Dict) -> None:
+        """Rehydrate a packed tally block into the name-keyed counter map
+        the accumulator, store documents and checkpoints are built from.
+        Plain dict maps (chaos stand-ins, externally crafted payloads) pass
+        through untouched."""
+        ff = payload.get("ff")
+        if isinstance(ff, dict) and isinstance(ff.get("idx"), bytes):
+            payload["ff"] = warmstart.unpack_tallies(ff, self._ff_order())
+
+    def _note_warm(self, hit: bool, warmup: float) -> None:
+        report = self.last_report
+        if hit:
+            report.warm_hits += 1
+        else:
+            report.warm_misses += 1
+            self._warmup_seconds += warmup
+
+    def _warm_runner(self) -> object:
+        """Parent-side warm-up: the resident (unwrapped) shard runner for
+        this spec, built on first use and reused by every later engine,
+        serial fallback and forked worker of the same family."""
+        runner, hit, warmup = warmstart.ensure_runner(
+            self.spec, _ShardRunner, context=self._context
+        )
+        self._note_warm(hit, warmup)
+        return runner
+
     def _serial_runner(self):
-        """The in-process shard runner (built lazily, chaos-wrapped when
-        the engine carries a chaos spec) shared by serial execution and
-        the supervisor's degraded-pool fallback."""
+        """The in-process shard runner (resolved through the warm cache,
+        chaos-wrapped when the engine carries a chaos spec) shared by serial
+        execution and the supervisor's degraded-pool fallback."""
         if self._serial is None:
-            runner = _ShardRunner(self.spec, self.context)
+            runner = self._warm_runner()
             if self.chaos is not None:
                 from ..verify.chaos import ChaosShardRunner
 
@@ -532,6 +614,14 @@ class CampaignEngine:
         report.retries += sup.retries
         report.pool_rebuilds += sup.rebuilds
         report.degraded_serial = report.degraded_serial or sup.degraded
+        if sup.rebuilds and warmstart.resolve_runner(self.spec) is not None:
+            # Replacement pools re-forked from the still-warm parent: each
+            # rebuild reused the resident context/kernels instead of paying
+            # a per-worker cold build.
+            report.warm_rebuild_reuses += sup.rebuilds
+            get_telemetry().registry.counter("warmstart.rebuild_reuses").inc(
+                sup.rebuilds
+            )
 
     # ----------------------------------------------------------------- run
 
@@ -633,8 +723,10 @@ class CampaignEngine:
         return result
 
     def _record_run_metrics(self, report: EngineReport) -> None:
-        """End-of-run rollups: throughput and worker utilization."""
+        """End-of-run rollups: throughput, worker utilization, warm-up."""
         registry = get_telemetry().registry
+        report.warmup_seconds = self._warmup_seconds
+        registry.timer("engine.warmup_seconds").observe(self._warmup_seconds)
         if report.wall_seconds > 0 and report.executed_lanes:
             registry.gauge("campaign.injections_per_sec").set(
                 report.executed_lanes / report.wall_seconds
@@ -736,6 +828,12 @@ class CampaignEngine:
             return self._serial_runner().run_shard(shard, gate=gate, attempt=attempt)
 
         chaos_payload = self.chaos.to_dict() if self.chaos is not None else None
+        mp_ctx = _mp_context()
+        if self.jobs > 1 and mp_ctx.get_start_method() == "fork":
+            # Warm the cache before the pool forks: workers (and every
+            # later pool rebuild) inherit the resident runner instead of
+            # each paying a cold build.
+            self._warm_runner()
         sup = SupervisedPool(
             _worker_run_shard_gated,
             jobs=self.jobs,
@@ -744,7 +842,7 @@ class CampaignEngine:
             retry=self.retry,
             serial_fn=serial_fn,
             validate=_shard_payload_error,
-            mp_context=_mp_context(),
+            mp_context=mp_ctx,
         )
         # The policy checkpoint is a per-flip-flop *cursor* (``consumed``),
         # which is only truthful at round boundaries: a completed round
@@ -793,6 +891,7 @@ class CampaignEngine:
                             self.progress(done_in_round, len(tasks))
                         continue
                     payload = outcome.payload
+                    self._decode_ff(payload)
                     accum.merge_shard(payload)
                     report.executed_buckets += len(payload["done_cycles"])
                     report.executed_forward_runs += payload["n_forward_runs"]
@@ -941,6 +1040,7 @@ class CampaignEngine:
                 throttled(done, total)
                 continue
             payload = outcome.payload
+            self._decode_ff(payload)
             accum.merge_shard(payload)
             done_cycles.update(payload["done_cycles"])
             report.executed_buckets += len(payload["done_cycles"])
@@ -1006,6 +1106,10 @@ class CampaignEngine:
         def serial_fn(payload, attempt: int) -> Dict:
             return self._serial_runner().run_shard(payload, attempt=attempt)
 
+        mp_ctx = _mp_context()
+        if mp_ctx.get_start_method() == "fork":
+            # Build once pre-fork; N workers (and any rebuilds) inherit it.
+            self._warm_runner()
         sup = SupervisedPool(
             _worker_run_shard,
             jobs=min(self.jobs, len(shards)),
@@ -1014,7 +1118,7 @@ class CampaignEngine:
             retry=self.retry,
             serial_fn=serial_fn,
             validate=_shard_payload_error,
-            mp_context=_mp_context(),
+            mp_context=mp_ctx,
         )
         clean = False
         try:

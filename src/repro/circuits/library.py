@@ -13,10 +13,12 @@ from .counters import make_counter, make_gray_counter, make_lfsr, make_shift_reg
 from .crc import make_crc32
 from .fifo import make_fifo
 from .fsm import make_fsm_controller
+from .generator import GENERATED_CIRCUITS, GENERATED_PRESETS
 from .xgmac import XGMAC_PRESETS, make_xgmac
 
 __all__ = [
     "CIRCUIT_BUILDERS",
+    "GENERATED_CIRCUITS",
     "LIBRARY_CIRCUITS",
     "get_circuit",
     "available_circuits",
@@ -45,11 +47,16 @@ CIRCUIT_BUILDERS: Dict[str, Callable[[], Netlist]] = {
 }
 for _preset in XGMAC_PRESETS:
     CIRCUIT_BUILDERS[_preset] = _preset_builder(_preset)
+CIRCUIT_BUILDERS.update(GENERATED_PRESETS)
 
-#: The small self-contained circuits (everything except the MAC presets) —
-#: the population the cross-circuit transfer experiment sweeps.
+#: The small self-contained circuits (everything except the MAC presets and
+#: the generated 2k–100k-FF composites) — the population the cross-circuit
+#: transfer experiment sweeps.  The generated presets stay out: sweeping a
+#: tiny-preset experiment over a 100k-FF mesh is never what a caller means.
 LIBRARY_CIRCUITS: List[str] = sorted(
-    name for name in CIRCUIT_BUILDERS if not name.startswith("xgmac")
+    name
+    for name in CIRCUIT_BUILDERS
+    if not name.startswith("xgmac") and name not in GENERATED_PRESETS
 )
 
 

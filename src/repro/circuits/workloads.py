@@ -355,6 +355,16 @@ register_workload("gray8", make_burst_builder(["gray[7]"]), criterion="observed"
 register_workload("fsm_ctrl", make_burst_builder(["busy", "done"]), criterion="observed")
 register_workload("fifo", build_burst_workload, criterion="any_output", prefix=True)
 register_workload("crc32", build_burst_workload, criterion="any_output")
+# Generated composites (circuits/generator.py): bursts with a mostly-on
+# advance enable (stalled pipelines/meshes propagate nothing) and a rare
+# synchronous clear; every reduced output counts.
+_GENERATED_BIAS = {"en": 0.9, "clear": 0.02}
+register_workload(
+    "mesh", make_burst_builder(bias=_GENERATED_BIAS), criterion="any_output", prefix=True
+)
+register_workload(
+    "pipe", make_burst_builder(bias=_GENERATED_BIAS), criterion="any_output", prefix=True
+)
 
 
 def expected_rx_entries(frames: Sequence[Sequence[int]]) -> List[Tuple[int, int, int]]:

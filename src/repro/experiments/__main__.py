@@ -52,6 +52,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -106,6 +107,14 @@ def run_campaign_command(args, cache_dir: Path, out_dir: Optional[Path]) -> None
         target_margin=args.target_margin,
         fault_model=args.fault_model,
     )
+    if args.circuit is not None:
+        from dataclasses import replace as dc_replace
+
+        from ..circuits.workloads import default_criterion
+
+        spec = dc_replace(
+            spec, circuit=args.circuit, criterion=default_criterion(args.circuit)
+        )
     policy_label = (
         f"{spec.policy}(margin={spec.target_margin})"
         if spec.policy == "sequential"
@@ -251,6 +260,23 @@ def run_verify_command(args, out_dir: Optional[Path]) -> int:
         )
         return 1
     print("all backends agree")
+
+    from ..verify.diff import run_generated_check
+
+    print("=== generated === circuit=mesh_tiny", flush=True)
+    gen_start = time.perf_counter()
+    gen_divergences, gen_checked = run_generated_check(
+        circuit="mesh_tiny", seed=args.seed
+    )
+    if gen_divergences:
+        for divergence in gen_divergences:
+            print(f"  mesh_tiny: {divergence}")
+        print("GENERATED DIVERGENCE — injector disagrees on generated circuit")
+        return 1
+    print(
+        f"  mesh_tiny: {gen_checked} injector+scheduler replays agree "
+        f"in {time.perf_counter() - gen_start:.2f}s"
+    )
 
     if args.chaos_trials > 0:
         from ..verify.chaos import ChaosTrialError, run_chaos_trials
@@ -458,6 +484,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="campaign command only: override the scale's injections per flip-flop",
+    )
+    parser.add_argument(
+        "--circuit",
+        default=None,
+        help="campaign command only: run on this registered circuit instead "
+        "of the scale's xgmac preset (e.g. a generated composite like "
+        "'mesh_2k'; the circuit's registered failure criterion applies)",
     )
     parser.add_argument(
         "--seeds",

@@ -25,13 +25,19 @@ Clock handling is cycle-based: clock nets are forced to 0 and every call to
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..netlist.core import Cell, Netlist, NetlistError
 from .backend import PackedLaneMixin
 from .logic import broadcast, lane_mask
 
-__all__ = ["CompiledSimulator", "build_eval_source"]
+__all__ = [
+    "CompiledSimulator",
+    "build_eval_source",
+    "cached_codegen",
+    "cached_eval_fn",
+]
 
 # Expression templates per library cell type; {o} output index, {i0}.. inputs.
 _TEMPLATES: Dict[str, str] = {
@@ -109,6 +115,82 @@ def build_eval_source(
     return "\n".join(lines)
 
 
+# ------------------------------------------------------------ codegen cache
+#
+# Source generation and ``compile()`` are O(cells) and dominate simulator
+# construction on large netlists (at the 10k-FF generated composites they
+# cost seconds).  Every simulator built for the same netlist generates the
+# *same* source — the net index is the netlist's own deterministic
+# enumeration — so the compiled code objects are cached per netlist and
+# per flavor ("int" vs "numpy" templates, plain vs gated tick).  Keyed
+# weakly: dropping the last netlist reference drops its code objects.
+# ``exec`` of a cached code object only materializes a function object,
+# which is orders of magnitude cheaper than parsing the source again.
+
+_CODEGEN_CACHE: "weakref.WeakKeyDictionary[Netlist, Dict[tuple, object]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _cache_for(netlist: Netlist) -> Dict[tuple, object]:
+    cache = _CODEGEN_CACHE.get(netlist)
+    if cache is None:
+        cache = {}
+        _CODEGEN_CACHE[netlist] = cache
+    return cache
+
+
+def cached_eval_fn(
+    netlist: Netlist,
+    net_index: Mapping[str, int],
+    fallback_cells: List[Tuple[Callable, int, Tuple[int, ...]]],
+    templates: Optional[Dict[str, str]] = None,
+    flavor: str = "int",
+) -> Callable:
+    """Compile-once-per-netlist variant of :func:`build_eval_source` + exec.
+
+    The generated source bakes fallback-dispatch indices starting at 0, so
+    *fallback_cells* must be the (empty) per-instance table the returned
+    function will be called with; the cached fallback entries are re-extended
+    into it.  *flavor* namespaces the cache per template table ("int" /
+    "numpy") — the cell/net counts in the key guard against a netlist
+    mutated after its code was cached.
+    """
+    key = ("eval", flavor, len(netlist.cells), len(netlist.nets))
+    cache = _cache_for(netlist)
+    entry = cache.get(key)
+    if entry is None:
+        fresh: List[Tuple[Callable, int, Tuple[int, ...]]] = []
+        source = build_eval_source(netlist, net_index, fresh, templates=templates)
+        code = compile(source, f"<repro-eval-{flavor}:{netlist.name}>", "exec")
+        entry = (code, tuple(fresh))
+        cache[key] = entry
+    code, entries = entry
+    fallback_cells.extend(entries)
+    namespace: Dict[str, object] = {}
+    exec(code, namespace)  # noqa: S102 - generated from our own netlist
+    return namespace["_eval"]  # type: ignore[return-value]
+
+
+def cached_codegen(
+    netlist: Netlist, key: tuple, fn_name: str, build_source: Callable[[], str]
+) -> Callable:
+    """Per-netlist cached compile of a generated function (tick flavors).
+
+    *build_source* is only invoked on a cache miss; the returned function is
+    a fresh object bound to a fresh namespace, so instances never share
+    state through it.
+    """
+    cache = _cache_for(netlist)
+    code = cache.get(key)
+    if code is None:
+        code = compile(build_source(), f"<repro-{fn_name}:{netlist.name}>", "exec")
+        cache[key] = code
+    namespace: Dict[str, object] = {}
+    exec(code, namespace)  # noqa: S102 - generated from our own netlist
+    return namespace[fn_name]  # type: ignore[return-value]
+
+
 class CompiledSimulator(PackedLaneMixin):
     """Cycle-based bit-parallel simulator for a mapped :class:`Netlist`.
 
@@ -169,12 +251,9 @@ class CompiledSimulator(PackedLaneMixin):
     # ------------------------------------------------------------ compiling
 
     def _compile_eval(self) -> Callable[[List[int], int, list], None]:
-        source = build_eval_source(self.netlist, self.net_index, self._fallback_cells)
-        namespace: Dict[str, object] = {}
-        exec(source, namespace)  # noqa: S102 - generated from our own netlist
-        return namespace["_eval"]  # type: ignore[return-value]
+        return cached_eval_fn(self.netlist, self.net_index, self._fallback_cells)
 
-    def _compile_tick(self) -> Callable[[List[int], int], None]:
+    def _build_tick_source(self) -> str:
         lines = ["def _tick(v, m):"]
         assigns = []
         for i, (q, d, rn) in enumerate(zip(self._ff_q, self._ff_d, self._ff_rn)):
@@ -186,9 +265,11 @@ class CompiledSimulator(PackedLaneMixin):
         lines.extend(assigns)
         if not self._ff_q:
             lines.append("    pass")
-        namespace: Dict[str, object] = {}
-        exec("\n".join(lines), namespace)  # noqa: S102
-        return namespace["_tick"]  # type: ignore[return-value]
+        return "\n".join(lines)
+
+    def _compile_tick(self) -> Callable[[List[int], int], None]:
+        key = ("tick", "int", len(self.netlist.cells))
+        return cached_codegen(self.netlist, key, "_tick", self._build_tick_source)
 
     # ------------------------------------------------- partitioned evaluation
 
@@ -222,6 +303,12 @@ class CompiledSimulator(PackedLaneMixin):
         the edge) when set.  The scheduler uses this to avoid evaluating the
         D-cone of flip-flops that provably hold golden values.
         """
+        key = ("tick", "int-gated", len(self.netlist.cells))
+        return cached_codegen(
+            self.netlist, key, "_tick_gated", self._build_gated_tick_source
+        )
+
+    def _build_gated_tick_source(self) -> str:
         lines = ["def _tick_gated(v, m, gw, gs):"]
         assigns = []
         for i, (q, d, rn) in enumerate(zip(self._ff_q, self._ff_d, self._ff_rn)):
@@ -236,9 +323,7 @@ class CompiledSimulator(PackedLaneMixin):
         lines.extend(assigns)
         if not self._ff_q:
             lines.append("    pass")
-        namespace: Dict[str, object] = {}
-        exec("\n".join(lines), namespace)  # noqa: S102
-        return namespace["_tick_gated"]  # type: ignore[return-value]
+        return "\n".join(lines)
 
     # -------------------------------------------------------------- control
 

@@ -34,7 +34,7 @@ import numpy as np
 
 from ..netlist.core import Cell, Netlist
 from .backend import PackedLaneMixin
-from .compiled import _TEMPLATES, build_eval_source
+from .compiled import _TEMPLATES, build_eval_source, cached_codegen, cached_eval_fn
 from .logic import lane_mask
 
 __all__ = ["NumPyWideSimulator", "int_to_words", "words_to_int"]
@@ -134,15 +134,15 @@ class NumPyWideSimulator(PackedLaneMixin):
         # Same generated statements as the compiled backend (modulo the
         # `^ m` overrides above); `v` rows are uint64 word blocks here, and
         # every `& | ^` maps to a vectorized NumPy operation over the block.
-        source = build_eval_source(
-            self.netlist, self.net_index, self._fallback_cells,
+        return cached_eval_fn(
+            self.netlist,
+            self.net_index,
+            self._fallback_cells,
             templates=_NUMPY_TEMPLATES,
+            flavor="numpy",
         )
-        namespace: Dict[str, object] = {}
-        exec(source, namespace)  # noqa: S102 - generated from our own netlist
-        return namespace["_eval"]
 
-    def _compile_tick(self):
+    def _build_tick_source(self) -> str:
         # Unlike the compiled backend, reading `v[d]` yields a *view*, so
         # the read phase must copy: in `t = v[d]; ...; v[q1] = t0` a view of
         # a Q row that another flip-flop's D reads (shift registers) would
@@ -158,9 +158,11 @@ class NumPyWideSimulator(PackedLaneMixin):
         lines.extend(assigns)
         if not self._ff_q:
             lines.append("    pass")
-        namespace: Dict[str, object] = {}
-        exec("\n".join(lines), namespace)  # noqa: S102
-        return namespace["_tick"]
+        return "\n".join(lines)
+
+    def _compile_tick(self):
+        key = ("tick", "numpy", len(self.netlist.cells))
+        return cached_codegen(self.netlist, key, "_tick", self._build_tick_source)
 
     # ------------------------------------------------- partitioned evaluation
 
@@ -193,6 +195,12 @@ class NumPyWideSimulator(PackedLaneMixin):
         read phase copies D rows (views would observe shifted Q writes) and
         golden bits broadcast to whole ``uint64`` lane blocks.
         """
+        key = ("tick", "numpy-gated", len(self.netlist.cells))
+        return cached_codegen(
+            self.netlist, key, "_tick_gated", self._build_gated_tick_source
+        )
+
+    def _build_gated_tick_source(self) -> str:
         lines = ["def _tick_gated(v, m, gw, gs):", "    z = m ^ m"]
         assigns = []
         for i, (q, d, rn) in enumerate(zip(self._ff_q, self._ff_d, self._ff_rn)):
@@ -207,9 +215,7 @@ class NumPyWideSimulator(PackedLaneMixin):
         lines.extend(assigns)
         if not self._ff_q:
             lines.append("    pass")
-        namespace: Dict[str, object] = {}
-        exec("\n".join(lines), namespace)  # noqa: S102
-        return namespace["_tick_gated"]
+        return "\n".join(lines)
 
     # -------------------------------------------------------------- control
 

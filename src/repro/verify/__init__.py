@@ -33,6 +33,7 @@ from .diff import (
     brute_force_seu,
     run_event_differential,
     run_fault_model_check,
+    run_generated_check,
     run_injector_check,
     run_lane_differential,
     run_scheduler_check,
@@ -66,6 +67,7 @@ __all__ = [
     "brute_force_seu",
     "run_event_differential",
     "run_fault_model_check",
+    "run_generated_check",
     "run_injector_check",
     "run_lane_differential",
     "run_scheduler_check",

@@ -74,6 +74,7 @@ __all__ = [
     "brute_force_seu",
     "brute_force_fault",
     "FAULT_MODEL_CHECK_SPECS",
+    "run_generated_check",
     "verify_seed",
     "verify_seeds",
 ]
@@ -506,6 +507,111 @@ def run_scheduler_check(
                 )
                 if stop_at_first:
                     return divergences, checked
+    return divergences, checked
+
+
+# ------------------------------------------------------- generated circuits
+
+
+def run_generated_check(
+    circuit: str = "mesh_tiny",
+    n_injection_cycles: int = 2,
+    n_ffs_sample: int = 16,
+    seed: int = 0,
+    stop_at_first: bool = True,
+    max_lanes: int = 5,
+) -> Tuple[List[Divergence], int]:
+    """Differential checks on a generated composite circuit.
+
+    The fuzz harness exercises random small netlists; this enrolls the
+    parameterized generator family (:mod:`repro.circuits.generator`) so the
+    structures the scale campaigns actually run — systolic mesh cells, deep
+    pipelines — get the same treatment.  Two referees on the circuit's own
+    registered burst workload:
+
+    1. a seed-drawn sample of flip-flops is injected per cycle through
+       :meth:`FaultInjector.run_batch` and each verdict/latency replayed as
+       a brute-force oracle re-simulation;
+    2. the same request set runs through the adaptive scheduler with a tiny
+       lane budget and ``cone_gating="on"``, compared against the naive
+       batch verdicts.
+
+    Returns ``(divergences, comparisons)``; deterministic for a given
+    ``(circuit, seed)``.
+    """
+    from ..circuits.library import get_circuit
+    from ..circuits.workloads import build_workload_for
+
+    netlist = get_circuit(circuit)
+    workload = build_workload_for(circuit, netlist, n_frames=2, gap=8, seed=seed)
+    testbench = workload.testbench
+    golden = testbench.run_golden()
+    criterion = AnyOutputCriterion.all_outputs(netlist)
+    injector = FaultInjector(
+        netlist, testbench, golden, criterion, check_interval=4, backend="compiled"
+    )
+
+    rng = random.Random(f"generated:{circuit}:{seed}")
+    first, last = workload.active_window
+    last = min(last, golden.n_cycles - 1)
+    cycles = sorted(
+        rng.sample(range(first, last + 1), min(n_injection_cycles, last + 1 - first))
+    )
+    flip_flops = netlist.flip_flops()
+    ff_indices = sorted(
+        rng.sample(range(len(flip_flops)), min(n_ffs_sample, len(flip_flops)))
+    )
+
+    divergences: List[Divergence] = []
+    checked = 0
+    expected: List[Tuple[bool, Optional[int]]] = []
+    for cycle in cycles:
+        outcome = injector.run_batch(cycle, ff_indices)
+        for lane, ff_idx in enumerate(ff_indices):
+            failed = bool((outcome.failed_mask >> lane) & 1)
+            latency = outcome.latencies.get(lane) if failed else None
+            expected.append((failed, latency))
+            ref_failed, ref_latency = brute_force_seu(
+                netlist, testbench, golden, cycle, ff_idx
+            )
+            checked += 1
+            if (failed, latency) != (ref_failed, ref_latency):
+                divergences.append(
+                    Divergence(
+                        kind="generated-injector-vs-bruteforce",
+                        cycle=cycle,
+                        net=flip_flops[ff_idx].name,
+                        values={
+                            "injector": (failed, latency),
+                            "bruteforce": (ref_failed, ref_latency),
+                        },
+                        detail=f"circuit {circuit}",
+                    )
+                )
+                if stop_at_first:
+                    return divergences, checked
+
+    requests = [(cycle, ff_idx) for cycle in cycles for ff_idx in ff_indices]
+    scheduled = injector.run_scheduled(
+        requests, max_lanes=max_lanes, cone_gating="on"
+    )
+    for k, (request, want, got) in enumerate(
+        zip(requests, expected, scheduled.verdicts)
+    ):
+        checked += 1
+        if got != want:
+            cycle, ff_idx = request
+            divergences.append(
+                Divergence(
+                    kind="generated-scheduled-vs-naive",
+                    cycle=cycle,
+                    net=flip_flops[ff_idx].name,
+                    values={"scheduled": got, "naive": want},
+                    detail=f"circuit {circuit}, request {k}",
+                )
+            )
+            if stop_at_first:
+                return divergences, checked
     return divergences, checked
 
 
